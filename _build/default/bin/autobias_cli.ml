@@ -1,0 +1,318 @@
+(* Command-line interface to the AutoBias reproduction.
+
+     autobias learn    -- learn a definition (optionally k-fold CV)
+     autobias bias     -- induce and print a language bias / type graph
+     autobias data     -- generate a dataset, print stats, dump CSVs
+     autobias predict  -- learn, then materialize the predicted relation
+
+   Everything is deterministic given --seed. *)
+
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let dataset_of_name ~scale ~seed = function
+  | "uw" -> Datasets.Uw.generate ~seed ~scale ()
+  | "imdb" -> Datasets.Imdb.generate ~seed ~scale ()
+  | "hiv" -> Datasets.Hiv.generate ~seed ~scale ()
+  | "flt" -> Datasets.Flt.generate ~seed ~scale ()
+  | "sys" -> Datasets.Sys_data.generate ~seed ~scale ()
+  | s -> invalid_arg ("unknown dataset: " ^ s)
+
+let dataset_arg =
+  let doc = "Dataset: uw, imdb, hiv, flt or sys." in
+  Arg.(value & opt string "uw" & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
+
+let method_arg =
+  let doc = "Bias method: castor, noconst, manual, aleph or autobias." in
+  Arg.(value & opt string "autobias" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let strategy_arg =
+  let doc = "Sampling strategy: naive, random or stratified." in
+  Arg.(value & opt string "naive" & info [ "s"; "sampling" ] ~docv:"STRATEGY" ~doc)
+
+let scale_arg =
+  let doc = "Dataset scale multiplier (1.0 = default size)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FLOAT" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (generation and learning are deterministic given it)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let timeout_arg =
+  let doc = "Learning timeout in seconds (per run/fold)." in
+  Arg.(value & opt float 120. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let config ~strategy ~timeout =
+  {
+    Autobias.default_config with
+    strategy = Sampling.Strategy.of_string strategy;
+    timeout = Some timeout;
+  }
+
+(* ---------------- learn ---------------- *)
+
+let save_definition path definition =
+  let oc = open_out path in
+  output_string oc "# learned by autobias; one clause per line\n";
+  output_string oc (Logic.Clause.definition_to_string definition);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote definition to %s@." path
+
+let load_definition path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Logic.Parser.definition contents
+
+let learn_cmd =
+  let run dataset_name method_name strategy scale seed timeout cv show_bias output =
+    let dataset = dataset_of_name ~scale ~seed dataset_name in
+    let method_ = Autobias.method_of_string method_name in
+    let config = config ~strategy ~timeout in
+    Fmt.pr "%a" Datasets.Dataset.summary dataset;
+    if cv then begin
+      let result = Autobias.cross_validate ~config method_ dataset ~seed in
+      Fmt.pr "%s on %s (%d-fold CV): %a@."
+        (Autobias.method_to_string method_)
+        dataset_name
+        (List.length result.Evaluation.Cross_validation.folds)
+        Evaluation.Cross_validation.pp_result result
+    end
+    else begin
+      let rng = Random.State.make [| seed |] in
+      let r =
+        Autobias.learn_once ~config method_ dataset ~rng
+          ~train_pos:dataset.Datasets.Dataset.positives
+          ~train_neg:dataset.Datasets.Dataset.negatives
+      in
+      if show_bias then
+        Fmt.pr "--- language bias (%d definitions) ---@.%a@.---@."
+          (Bias.Language.size r.Autobias.bias_info.Autobias.bias)
+          Bias.Language.pp r.Autobias.bias_info.Autobias.bias;
+      Fmt.pr "learned %d clauses in %.2fs%s:@.%a@."
+        (List.length r.Autobias.definition)
+        r.Autobias.learn_time
+        (if r.Autobias.timed_out then " (timed out)" else "")
+        Logic.Clause.pp_definition r.Autobias.definition;
+      let cov =
+        Autobias.coverage_context config dataset
+          r.Autobias.bias_info.Autobias.bias ~rng
+      in
+      let m =
+        Evaluation.Metrics.evaluate cov r.Autobias.definition
+          ~positives:dataset.Datasets.Dataset.positives
+          ~negatives:dataset.Datasets.Dataset.negatives
+      in
+      Fmt.pr "training-set fit: %a@." Evaluation.Metrics.pp_row m;
+      Option.iter (fun path -> save_definition path r.Autobias.definition) output
+    end
+  in
+  let cv_arg =
+    let doc = "Run the dataset's cross-validation protocol." in
+    Arg.(value & flag & info [ "cv" ] ~doc)
+  in
+  let show_bias_arg =
+    let doc = "Print the language bias before learning." in
+    Arg.(value & flag & info [ "show-bias" ] ~doc)
+  in
+  let output_arg =
+    let doc = "Write the learned definition to $(docv) (re-loadable by\n\
+               $(b,predict --definition))." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "learn" ~doc:"learn a Horn definition of a dataset's target")
+    Term.(
+      const run $ dataset_arg $ method_arg $ strategy_arg $ scale_arg $ seed_arg
+      $ timeout_arg $ cv_arg $ show_bias_arg $ output_arg)
+
+(* ---------------- bias ---------------- *)
+
+let bias_cmd =
+  let run dataset_name scale seed dot threshold =
+    let dataset = dataset_of_name ~scale ~seed dataset_name in
+    let result =
+      Discovery.Generate.induce
+        ~threshold:(Discovery.Generate.Relative threshold)
+        dataset.Datasets.Dataset.db ~target:dataset.Datasets.Dataset.target
+        ~positive_examples:dataset.Datasets.Dataset.positives
+    in
+    Fmt.pr "# %d INDs discovered in %.3fs (α ≤ %.2f kept)@."
+      (List.length result.Discovery.Generate.inds)
+      result.Discovery.Generate.ind_time
+      Discovery.Ind.default_config.Discovery.Ind.max_error;
+    List.iter
+      (fun ind -> Fmt.pr "#   %s@." (Discovery.Ind.to_string ind))
+      result.Discovery.Generate.inds;
+    if dot then
+      Fmt.pr "%s@." (Discovery.Type_graph.to_dot result.Discovery.Generate.graph)
+    else begin
+      Fmt.pr "%a@." Discovery.Type_graph.pp result.Discovery.Generate.graph;
+      Fmt.pr "%a@." Bias.Language.pp result.Discovery.Generate.bias
+    end
+  in
+  let dot_arg =
+    let doc = "Emit the type graph as Graphviz DOT instead of text." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let threshold_arg =
+    let doc = "Relative constant-threshold (the paper uses 0.18)." in
+    Arg.(value & opt float 0.18 & info [ "constant-threshold" ] ~docv:"RATIO" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "bias"
+       ~doc:"induce and print the language bias and type graph for a dataset")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ dot_arg $ threshold_arg)
+
+(* ---------------- data ---------------- *)
+
+let data_cmd =
+  let run dataset_name scale seed dump stats =
+    let dataset = dataset_of_name ~scale ~seed dataset_name in
+    Fmt.pr "%a" Datasets.Dataset.summary dataset;
+    Relational.Database.stats Format.std_formatter dataset.Datasets.Dataset.db;
+    if stats then
+      Relational.Stats.pp Format.std_formatter
+        (Relational.Stats.database dataset.Datasets.Dataset.db);
+    (match dump with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        List.iter
+          (fun rel ->
+            let path =
+              Filename.concat dir (Relational.Relation.name rel ^ ".csv")
+            in
+            Relational.Csv.save rel path;
+            Fmt.pr "wrote %s (%d tuples)@." path
+              (Relational.Relation.cardinality rel))
+          (Relational.Database.relations dataset.Datasets.Dataset.db);
+        let dump_examples name examples =
+          let path = Filename.concat dir (name ^ ".csv") in
+          let rel =
+            Relational.Relation.of_tuples dataset.Datasets.Dataset.target
+              (List.rev examples)
+          in
+          Relational.Csv.save rel path;
+          Fmt.pr "wrote %s (%d examples)@." path (List.length examples)
+        in
+        dump_examples "positive_examples" dataset.Datasets.Dataset.positives;
+        dump_examples "negative_examples" dataset.Datasets.Dataset.negatives)
+  in
+  let dump_arg =
+    let doc = "Dump every relation and the examples as CSV into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"DIR" ~doc)
+  in
+  let stats_arg =
+    let doc = "Print per-column statistics (distinct ratios, frequency skew)." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "data" ~doc:"generate a synthetic dataset; print stats, dump CSVs")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ dump_arg $ stats_arg)
+
+(* ---------------- predict ---------------- *)
+
+let predict_cmd =
+  let run dataset_name method_name strategy scale seed timeout limit definition_file =
+    let dataset = dataset_of_name ~scale ~seed dataset_name in
+    let definition =
+      match definition_file with
+      | Some path ->
+          let d = load_definition path in
+          Fmt.pr "loaded %d clauses from %s@." (List.length d) path;
+          d
+      | None ->
+          let method_ = Autobias.method_of_string method_name in
+          let config = config ~strategy ~timeout in
+          let rng = Random.State.make [| seed |] in
+          let r =
+            Autobias.learn_once ~config method_ dataset ~rng
+              ~train_pos:dataset.Datasets.Dataset.positives
+              ~train_neg:dataset.Datasets.Dataset.negatives
+          in
+          Fmt.pr "learned:@.%a@." Logic.Clause.pp_definition r.Autobias.definition;
+          r.Autobias.definition
+    in
+    let derived =
+      Learning.Inference.derive_definition dataset.Datasets.Dataset.db
+        definition
+    in
+    Fmt.pr "derived %d tuples of %s:@." (List.length derived)
+      dataset.Datasets.Dataset.target.Relational.Schema.rel_name;
+    List.iteri
+      (fun i t ->
+        if i < limit then
+          Fmt.pr "  %s@." (Relational.Relation.tuple_to_string t))
+      derived;
+    if List.length derived > limit then
+      Fmt.pr "  ... (%d more; raise --limit)@." (List.length derived - limit)
+  in
+  let limit_arg =
+    let doc = "Print at most $(docv) derived tuples." in
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let definition_arg =
+    let doc = "Skip learning; load the definition from $(docv)\n\
+               (as written by $(b,learn --output))." in
+    Arg.(value & opt (some string) None & info [ "definition" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"learn (or load a definition), then materialize the predictions")
+    Term.(
+      const run $ dataset_arg $ method_arg $ strategy_arg $ scale_arg $ seed_arg
+      $ timeout_arg $ limit_arg $ definition_arg)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let run dataset_name method_name scale seed timeout limit =
+    let dataset = dataset_of_name ~scale ~seed dataset_name in
+    let method_ = Autobias.method_of_string method_name in
+    let config = config ~strategy:"naive" ~timeout in
+    let rng = Random.State.make [| seed |] in
+    let r =
+      Autobias.learn_once ~config method_ dataset ~rng
+        ~train_pos:dataset.Datasets.Dataset.positives
+        ~train_neg:dataset.Datasets.Dataset.negatives
+    in
+    Fmt.pr "learned:@.%a@.@." Logic.Clause.pp_definition r.Autobias.definition;
+    let cov =
+      Autobias.coverage_context config dataset r.Autobias.bias_info.Autobias.bias
+        ~rng
+    in
+    let explain_some label examples =
+      Fmt.pr "--- %s ---@." label;
+      List.iteri
+        (fun i e ->
+          if i < limit then
+            Fmt.pr "%s: %a@.@."
+              (Relational.Relation.tuple_to_string e)
+              Learning.Explain.pp_definition_result
+              (Learning.Explain.explain_definition cov r.Autobias.definition e))
+        examples
+    in
+    explain_some "positive examples" dataset.Datasets.Dataset.positives;
+    explain_some "negative examples" dataset.Datasets.Dataset.negatives
+  in
+  let limit_arg =
+    let doc = "Explain at most $(docv) examples of each class." in
+    Arg.(value & opt int 3 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"learn, then explain the definition's decision on examples")
+    Term.(
+      const run $ dataset_arg $ method_arg $ scale_arg $ seed_arg $ timeout_arg
+      $ limit_arg)
+
+(* ---------------- group ---------------- *)
+
+let () =
+  let doc = "relational learning with automatic language bias (SIGMOD '21)" in
+  let info = Cmd.info "autobias" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ learn_cmd; bias_cmd; data_cmd; predict_cmd; explain_cmd ]))

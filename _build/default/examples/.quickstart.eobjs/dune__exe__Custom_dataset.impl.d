@@ -1,0 +1,1 @@
+examples/custom_dataset.ml: Bias Discovery Evaluation Fmt Learning List Logic Random Relational

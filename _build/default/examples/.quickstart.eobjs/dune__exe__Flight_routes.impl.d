@@ -1,0 +1,1 @@
+examples/flight_routes.ml: Autobias Datasets Evaluation Fmt List Logic Random Sampling

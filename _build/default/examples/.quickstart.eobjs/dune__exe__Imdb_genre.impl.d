@@ -1,0 +1,1 @@
+examples/imdb_genre.ml: Autobias Bias Datasets Evaluation Fmt List Logic Random

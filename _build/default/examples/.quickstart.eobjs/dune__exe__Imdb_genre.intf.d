@@ -1,0 +1,1 @@
+examples/imdb_genre.mli:

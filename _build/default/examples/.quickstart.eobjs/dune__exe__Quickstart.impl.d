@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bias Datasets Discovery Fmt Learning Logic Random Relational

@@ -1,0 +1,1 @@
+examples/sys_security.ml: Autobias Datasets Evaluation Fmt List Logic Random Relational

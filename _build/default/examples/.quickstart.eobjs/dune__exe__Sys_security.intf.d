@@ -1,0 +1,1 @@
+examples/sys_security.mli:

@@ -1,0 +1,42 @@
+(* IMDb scenario: learning a definition that needs a constant.
+
+   dramaDirector(d) holds iff d directed a drama movie — the accurate
+   definition must mention the constant 'drama', so the mode language needs a
+   [#] on the genre attribute. AutoBias finds it by itself: the genre column
+   has few distinct values relative to the relation size, so the
+   constant-threshold marks it constant-able. Castor-NoConst, by
+   construction, cannot express the rule.
+
+   Run with: dune exec examples/imdb_genre.exe *)
+
+let () =
+  let dataset = Datasets.Imdb.generate ~scale:0.5 () in
+  Fmt.pr "%a@." Datasets.Dataset.summary dataset;
+  let rng = Random.State.make [| 1 |] in
+  let config = { Autobias.default_config with timeout = Some 60. } in
+  List.iter
+    (fun method_ ->
+      let r =
+        Autobias.learn_once ~config method_ dataset ~rng
+          ~train_pos:dataset.Datasets.Dataset.positives
+          ~train_neg:dataset.Datasets.Dataset.negatives
+      in
+      let cov =
+        Autobias.coverage_context config dataset r.Autobias.bias_info.Autobias.bias
+          ~rng
+      in
+      let m =
+        Evaluation.Metrics.evaluate cov r.Autobias.definition
+          ~positives:dataset.Datasets.Dataset.positives
+          ~negatives:dataset.Datasets.Dataset.negatives
+      in
+      Fmt.pr "--- %s (bias: %d definitions, %.2fs to learn) ---@.%a@.fit: %a@.@."
+        (Autobias.method_to_string method_)
+        (Bias.Language.size r.Autobias.bias_info.Autobias.bias)
+        r.Autobias.learn_time Logic.Clause.pp_definition r.Autobias.definition
+        Evaluation.Metrics.pp_row m)
+    [ Autobias.No_const; Autobias.Manual; Autobias.Auto_bias ];
+  Fmt.pr
+    "NoConst cannot name the 'drama' constant, so its definition (if any)@.\
+     over-generalizes; Manual and AutoBias both learn@.\
+     dramaDirector(X) :- directedBy(Y,X), genre(Y,drama).@."

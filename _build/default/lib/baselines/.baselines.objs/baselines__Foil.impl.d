@@ -1,0 +1,1 @@
+lib/baselines/foil.pp.ml: Array Bias Hashtbl Learning List Logic Option Relational Unix

@@ -1,0 +1,1 @@
+lib/baselines/foil.pp.mli: Learning Logic Relational

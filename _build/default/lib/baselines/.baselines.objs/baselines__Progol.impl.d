@@ -1,0 +1,1 @@
+lib/baselines/progol.pp.ml: Array Hashtbl Learning List Logic Option Random Unix

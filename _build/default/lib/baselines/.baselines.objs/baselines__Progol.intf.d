@@ -1,0 +1,1 @@
+lib/baselines/progol.pp.mli: Learning Logic Random Relational

@@ -1,0 +1,1 @@
+lib/bias/language.pp.ml: Array Fmt Format List Mode Option Predicate_def Relational String Util

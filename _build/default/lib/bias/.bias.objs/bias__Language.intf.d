@@ -1,0 +1,1 @@
+lib/bias/language.pp.mli: Format Mode Predicate_def Relational Util

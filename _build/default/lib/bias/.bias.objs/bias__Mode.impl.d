@@ -1,0 +1,1 @@
+lib/bias/mode.pp.ml: Array Fmt List Ppx_deriving_runtime String

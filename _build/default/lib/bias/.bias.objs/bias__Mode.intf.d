@@ -1,0 +1,1 @@
+lib/bias/mode.pp.mli: Format

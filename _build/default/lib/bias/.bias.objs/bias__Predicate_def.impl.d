@@ -1,0 +1,1 @@
+lib/bias/predicate_def.pp.ml: Array Fmt List Ppx_deriving_runtime String Util

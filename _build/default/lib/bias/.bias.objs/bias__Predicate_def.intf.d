@@ -1,0 +1,1 @@
+lib/bias/predicate_def.pp.mli: Format Util

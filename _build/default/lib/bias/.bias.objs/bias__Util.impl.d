@@ -1,0 +1,1 @@
+lib/bias/util.pp.ml: List Map Set String

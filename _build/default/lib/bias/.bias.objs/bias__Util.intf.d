@@ -1,0 +1,1 @@
+lib/bias/util.pp.mli: Map Set

@@ -1,0 +1,221 @@
+(** A complete language bias: predicate definitions plus mode definitions for
+    a given database schema and target relation.
+
+    This is the artifact AutoBias induces automatically (Section 3) and an
+    expert writes by hand for the Manual baseline. The module also derives
+    the lookup tables the learner needs: attribute types, join compatibility,
+    per-relation modes, and whether an attribute may appear as a constant. *)
+
+module String_set = Util.String_set
+
+type t = {
+  schema : Relational.Schema.t;  (** background relations *)
+  target : Relational.Schema.relation_schema;  (** relation being learned *)
+  predicate_defs : Predicate_def.t list;
+  modes : Mode.t list;
+}
+
+let make ~schema ~target ~predicate_defs ~modes =
+  { schema; target; predicate_defs; modes }
+
+let schema b = b.schema
+let target b = b.target
+let predicate_defs b = b.predicate_defs
+let modes b = b.modes
+
+(** [attribute_types b pred pos] is the type-name set of attribute [pos] of
+    relation [pred] (empty if the bias never mentions it). *)
+let attribute_types b pred pos = Predicate_def.types_of b.predicate_defs pred pos
+
+(** [share_type b p1 i1 p2 i2] holds iff the two attributes have a common
+    type, i.e. a candidate clause may join them (Section 2.2.1). *)
+let share_type b p1 i1 p2 i2 =
+  not
+    (String_set.is_empty
+       (String_set.inter (attribute_types b p1 i1) (attribute_types b p2 i2)))
+
+(** [modes_of b pred] is every mode definition for relation [pred]. *)
+let modes_of b pred =
+  List.filter (fun m -> String.equal m.Mode.pred pred) b.modes
+
+(** [constant_allowed b pred pos] holds iff some mode of [pred] puts [#] on
+    attribute [pos]. *)
+let constant_allowed b pred pos =
+  List.exists
+    (fun m -> pos < Mode.arity m && m.Mode.symbols.(pos) = Mode.Constant)
+    (modes_of b pred)
+
+(** [size b] is the number of predicate plus mode definitions — the paper
+    reports this as the amount of bias an expert had to write. *)
+let size b = List.length b.predicate_defs + List.length b.modes
+
+(** [validate b] checks internal consistency and returns a list of problems
+    (empty when the bias is well-formed): unknown relations, arity
+    mismatches, modes without any [+] (they would create Cartesian
+    products), and body relations with modes but no predicate definition. *)
+let validate b =
+  let problems = ref [] in
+  let problem fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let arity_of pred =
+    if String.equal pred b.target.Relational.Schema.rel_name then
+      Some (Relational.Schema.arity b.target)
+    else
+      Option.map Relational.Schema.arity
+        (Relational.Schema.find_opt b.schema pred)
+  in
+  List.iter
+    (fun (d : Predicate_def.t) ->
+      match arity_of d.Predicate_def.pred with
+      | None -> problem "predicate definition for unknown relation %s" d.pred
+      | Some a ->
+          if a <> Predicate_def.arity d then
+            problem "predicate definition %s has arity %d, relation has %d"
+              (Predicate_def.to_string d) (Predicate_def.arity d) a)
+    b.predicate_defs;
+  List.iter
+    (fun (m : Mode.t) ->
+      match arity_of m.Mode.pred with
+      | None -> problem "mode definition for unknown relation %s" m.pred
+      | Some a ->
+          if a <> Mode.arity m then
+            problem "mode definition %s has arity %d, relation has %d"
+              (Mode.to_string m) (Mode.arity m) a;
+          if not (Mode.has_input m) then
+            problem "mode definition %s has no + attribute" (Mode.to_string m))
+    b.modes;
+  List.rev !problems
+
+let pp ppf b =
+  Fmt.pf ppf "@[<v># Predicate definitions@,%a@,# Mode definitions@,%a@]"
+    Fmt.(list ~sep:cut (using Predicate_def.to_string string))
+    b.predicate_defs
+    Fmt.(list ~sep:cut (using Mode.to_string string))
+    b.modes
+
+let to_string b = Fmt.str "%a" pp b
+
+(** {1 Parsing}
+
+    The concrete syntax is one definition per line:
+    ["student(T1)"] (predicate definition) or ["inPhase(+,#)"] (mode
+    definition). Blank lines and [#]-comments are skipped. A line is a mode
+    definition iff every argument is one of [+], [-], [#]. *)
+
+exception Parse_error of string
+
+let parse_line line =
+  match String.index_opt line '(' with
+  | None -> raise (Parse_error ("missing '(' in: " ^ line))
+  | Some lp ->
+      let pred = String.trim (String.sub line 0 lp) in
+      let rp =
+        match String.rindex_opt line ')' with
+        | Some i when i > lp -> i
+        | _ -> raise (Parse_error ("missing ')' in: " ^ line))
+      in
+      let args =
+        String.sub line (lp + 1) (rp - lp - 1)
+        |> String.split_on_char ','
+        |> List.map String.trim
+      in
+      if args = [] || List.exists (String.equal "") args then
+        raise (Parse_error ("empty argument in: " ^ line));
+      let is_symbol a = a = "+" || a = "-" || a = "#" in
+      if List.for_all is_symbol args then
+        `Mode (Mode.make pred (Array.of_list (List.map Mode.symbol_of_string args)))
+      else `Predicate (Predicate_def.make pred (Array.of_list args))
+
+(** [parse ~schema ~target text] parses a bias file. Raises {!Parse_error} on
+    malformed lines; use {!validate} afterwards for semantic checks. *)
+let parse ~schema ~target text =
+  let predicate_defs = ref [] and modes = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then
+           match parse_line line with
+           | `Mode m -> modes := m :: !modes
+           | `Predicate d -> predicate_defs := d :: !predicate_defs);
+  make ~schema ~target ~predicate_defs:(List.rev !predicate_defs)
+    ~modes:(List.rev !modes)
+
+(** [load ~schema ~target path] parses the bias file at [path].
+    Raises {!Parse_error} or [Sys_error]. *)
+let load ~schema ~target path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse ~schema ~target contents
+
+(** [save b path] writes [b] in its concrete syntax to [path]. *)
+let save b path =
+  let oc = open_out path in
+  output_string oc (to_string b);
+  output_char oc '\n';
+  close_out oc
+
+(** {1 Built-in biases for the paper's baselines} *)
+
+(** Modes giving each attribute in turn the [+] role, [-] elsewhere, plus,
+    for each non-empty subset [m] of [const_positions] (capped power set),
+    the same modes with [#] on [m]. This is the shared mode shape of
+    AutoBias, Castor and NoConst; they differ in [const_positions]. *)
+let modes_for_relation ?(power_set_cap = 8) rel_name arity const_positions =
+  let subsets =
+    Util.power_set ~cap:power_set_cap const_positions
+    |> List.filter (fun s -> s <> [])
+  in
+  let mode_with consts input =
+    let symbols =
+      Array.init arity (fun i ->
+          if List.mem i consts then Mode.Constant
+          else if i = input then Mode.Input
+          else Mode.Output)
+    in
+    Mode.make rel_name symbols
+  in
+  let plain =
+    List.init arity (fun i -> mode_with [] i)
+  in
+  let with_consts =
+    List.concat_map
+      (fun consts ->
+        List.init arity (fun i -> i)
+        |> List.filter (fun i -> not (List.mem i consts))
+        |> List.map (fun i -> mode_with consts i))
+      subsets
+  in
+  plain @ with_consts
+
+(** [castor ~schema ~target] is the plain-Castor baseline bias of Section 6:
+    every attribute of every relation (and of the target) gets one universal
+    type, and every attribute may be a variable or a constant. *)
+let castor ~schema ~target =
+  let universal rs =
+    Predicate_def.make rs.Relational.Schema.rel_name
+      (Array.make (Relational.Schema.arity rs) "T0")
+  in
+  let predicate_defs = universal target :: List.map universal schema in
+  let modes =
+    List.concat_map
+      (fun rs ->
+        let a = Relational.Schema.arity rs in
+        modes_for_relation rs.Relational.Schema.rel_name a
+          (List.init a (fun i -> i)))
+      schema
+  in
+  make ~schema ~target ~predicate_defs ~modes
+
+(** [no_const ~schema ~target] is Castor-without-constants: universal type,
+    no [#] anywhere. *)
+let no_const ~schema ~target =
+  let b = castor ~schema ~target in
+  let modes =
+    List.concat_map
+      (fun rs ->
+        let a = Relational.Schema.arity rs in
+        modes_for_relation rs.Relational.Schema.rel_name a [])
+      schema
+  in
+  { b with modes }

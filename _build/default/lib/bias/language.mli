@@ -1,0 +1,93 @@
+(** A complete language bias: predicate plus mode definitions for a database
+    schema and target relation — the artifact AutoBias induces automatically
+    (Section 3) and an expert writes by hand for the Manual baseline. *)
+
+type t
+
+val make :
+  schema:Relational.Schema.t ->
+  target:Relational.Schema.relation_schema ->
+  predicate_defs:Predicate_def.t list ->
+  modes:Mode.t list ->
+  t
+
+val schema : t -> Relational.Schema.t
+val target : t -> Relational.Schema.relation_schema
+val predicate_defs : t -> Predicate_def.t list
+val modes : t -> Mode.t list
+
+(** [attribute_types b pred pos] is the type-name set of the attribute
+    (empty if the bias never mentions it). *)
+val attribute_types : t -> string -> int -> Util.String_set.t
+
+(** [share_type b p1 i1 p2 i2] holds iff the two attributes share a type,
+    i.e. a candidate clause may join them. *)
+val share_type : t -> string -> int -> string -> int -> bool
+
+(** [modes_of b pred] — every mode definition for relation [pred]. *)
+val modes_of : t -> string -> Mode.t list
+
+(** [constant_allowed b pred pos] holds iff some mode of [pred] puts [#] on
+    attribute [pos]. *)
+val constant_allowed : t -> string -> int -> bool
+
+(** [size b] is the number of predicate plus mode definitions — the paper's
+    measure of how much bias an expert had to write. *)
+val size : t -> int
+
+(** [validate b] returns the list of problems (empty when well-formed):
+    unknown relations, arity mismatches, modes without [+]. *)
+val validate : t -> string list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Parsing}
+
+    One definition per line: ["student(T1)"] (predicate definition) or
+    ["inPhase(+,#)"] (mode definition — every argument is a symbol). Blank
+    lines and [#]-comment lines are skipped. *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed lines; run {!validate} afterwards for
+    semantic checks. *)
+val parse :
+  schema:Relational.Schema.t ->
+  target:Relational.Schema.relation_schema ->
+  string ->
+  t
+
+(** [load ~schema ~target path] parses the bias file at [path].
+    @raise Parse_error on malformed lines; [Sys_error] on IO failure. *)
+val load :
+  schema:Relational.Schema.t ->
+  target:Relational.Schema.relation_schema ->
+  string ->
+  t
+
+(** [save b path] writes [b] in its concrete syntax to [path]; the output
+    re-parses with {!load}. *)
+val save : t -> string -> unit
+
+(** {1 Built-in biases for the paper's baselines} *)
+
+(** [modes_for_relation ?power_set_cap name arity const_positions] builds the
+    shared mode shape of AutoBias/Castor/NoConst: one mode per attribute
+    with [+] there and [-] elsewhere, plus, for each non-empty subset of
+    [const_positions] (capped power set), the same modes with [#] on the
+    subset. *)
+val modes_for_relation : ?power_set_cap:int -> string -> int -> int list -> Mode.t list
+
+(** [castor ~schema ~target] — the plain-Castor baseline: one universal
+    type; every attribute may be a variable or a constant. *)
+val castor :
+  schema:Relational.Schema.t ->
+  target:Relational.Schema.relation_schema ->
+  t
+
+(** [no_const ~schema ~target] — universal type, no [#] anywhere. *)
+val no_const :
+  schema:Relational.Schema.t ->
+  target:Relational.Schema.relation_schema ->
+  t

@@ -1,0 +1,55 @@
+(** Mode definitions (Section 2.2.2).
+
+    A mode assigns a symbol to each attribute of a relation:
+    [+] (Input) — the term must be an existing variable;
+    [-] (Output) — the term may be an existing or a new variable;
+    [#] (Constant) — the term must be a constant.
+
+    Each body literal of a candidate clause must satisfy at least one mode. *)
+
+type symbol =
+  | Input  (** [+] *)
+  | Output  (** [-] *)
+  | Constant  (** [#] *)
+[@@deriving eq, ord, show { with_path = false }]
+
+let symbol_to_string = function Input -> "+" | Output -> "-" | Constant -> "#"
+
+let symbol_of_string = function
+  | "+" -> Input
+  | "-" -> Output
+  | "#" -> Constant
+  | s -> invalid_arg ("Mode.symbol_of_string: " ^ s)
+
+type t = {
+  pred : string;
+  symbols : symbol array;  (** one per attribute, in column order *)
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+let make pred symbols = { pred; symbols }
+let arity m = Array.length m.symbols
+
+let to_string m =
+  m.pred ^ "("
+  ^ String.concat "," (Array.to_list (Array.map symbol_to_string m.symbols))
+  ^ ")"
+
+let pp_short ppf m = Fmt.string ppf (to_string m)
+
+(** [input_positions m] is the column indexes carrying [+]. *)
+let input_positions m =
+  let out = ref [] in
+  Array.iteri (fun i s -> if s = Input then out := i :: !out) m.symbols;
+  List.rev !out
+
+(** [constant_positions m] is the column indexes carrying [#]. *)
+let constant_positions m =
+  let out = ref [] in
+  Array.iteri (fun i s -> if s = Constant then out := i :: !out) m.symbols;
+  List.rev !out
+
+(** [has_input m] holds iff some attribute carries [+]. Modes without any [+]
+    would introduce Cartesian products (Section 2.2.2) and are rejected by
+    {!Language.validate}. *)
+let has_input m = Array.exists (( = ) Input) m.symbols

@@ -1,0 +1,41 @@
+(** Mode definitions (Section 2.2.2): one symbol per attribute.
+
+    [+] (Input) — must be an existing variable; [-] (Output) — existing or
+    new variable; [#] (Constant) — must be a constant. Each body literal of
+    a candidate clause must satisfy at least one mode. *)
+
+type symbol =
+  | Input  (** [+] *)
+  | Output  (** [-] *)
+  | Constant  (** [#] *)
+
+val equal_symbol : symbol -> symbol -> bool
+val symbol_to_string : symbol -> string
+
+(** @raise Invalid_argument on anything but "+", "-", "#". *)
+val symbol_of_string : string -> symbol
+
+type t = {
+  pred : string;
+  symbols : symbol array;  (** one per attribute, in column order *)
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val make : string -> symbol array -> t
+val arity : t -> int
+
+(** [to_string m] is the paper's syntax, e.g. ["inPhase(+,#)"]. *)
+val to_string : t -> string
+
+val pp_short : Format.formatter -> t -> unit
+
+(** [input_positions m] — column indexes carrying [+]. *)
+val input_positions : t -> int list
+
+(** [constant_positions m] — column indexes carrying [#]. *)
+val constant_positions : t -> int list
+
+(** [has_input m] — a mode without any [+] would create Cartesian products
+    and is rejected by {!Language.validate}. *)
+val has_input : t -> bool

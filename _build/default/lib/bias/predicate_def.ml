@@ -1,0 +1,32 @@
+(** Predicate definitions (Section 2.2.1).
+
+    A predicate definition assigns one type name to each attribute of a
+    relation, e.g. [publication(T5,T1)]. A relation may have several
+    predicate definitions; the effective type set of an attribute is the
+    union over them ([publication(T5,T1)] and [publication(T5,T3)] give the
+    author attribute both T1 and T3). Two attributes can be joined in a
+    candidate clause only if their type sets intersect. *)
+
+type t = {
+  pred : string;
+  types : string array;  (** one type name per attribute, in column order *)
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+let make pred types = { pred; types }
+let arity d = Array.length d.types
+
+let to_string d =
+  d.pred ^ "(" ^ String.concat "," (Array.to_list d.types) ^ ")"
+
+let pp_short ppf d = Fmt.string ppf (to_string d)
+
+(** [types_of defs pred pos] is the set of type names assigned to attribute
+    [pos] of relation [pred] across all definitions in [defs]. *)
+let types_of defs pred pos =
+  List.fold_left
+    (fun acc d ->
+      if String.equal d.pred pred && pos < arity d then
+        Util.String_set.add d.types.(pos) acc
+      else acc)
+    Util.String_set.empty defs

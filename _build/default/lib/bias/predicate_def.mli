@@ -1,0 +1,24 @@
+(** Predicate definitions (Section 2.2.1): one type name per attribute of a
+    relation, e.g. [publication(T5,T1)]. A relation may have several
+    definitions; an attribute's effective type set is the union over them.
+    Two attributes can be joined in a candidate clause only if their type
+    sets intersect. *)
+
+type t = {
+  pred : string;
+  types : string array;  (** one type name per attribute, in column order *)
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val make : string -> string array -> t
+val arity : t -> int
+
+(** [to_string d] is the paper's syntax, e.g. ["publication(T5,T1)"]. *)
+val to_string : t -> string
+
+val pp_short : Format.formatter -> t -> unit
+
+(** [types_of defs pred pos] is the set of type names assigned to attribute
+    [pos] of relation [pred] across [defs]. *)
+val types_of : t list -> string -> int -> Util.String_set.t

@@ -1,0 +1,35 @@
+(** Small shared helpers for the bias library. *)
+
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+(** [power_set ?cap xs] lists every subset of [xs] (including the empty set).
+    When [cap] is given and [List.length xs > cap], only subsets of the first
+    [cap] elements are produced, plus the singletons of the rest — a guard
+    against exponential blow-up on very wide relations; callers report when
+    the guard triggers. *)
+let power_set ?cap xs =
+  let full, extra =
+    match cap with
+    | Some c when List.length xs > c ->
+        let rec split n = function
+          | [] -> ([], [])
+          | l when n = 0 -> ([], l)
+          | x :: tl ->
+              let a, b = split (n - 1) tl in
+              (x :: a, b)
+        in
+        split c xs
+    | _ -> (xs, [])
+  in
+  let base =
+    List.fold_left
+      (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+      [ [] ] full
+  in
+  base @ List.map (fun x -> [ x ]) extra
+
+(** [capped_power_set_truncated ?cap xs] reports whether [power_set] had to
+    truncate. *)
+let power_set_truncated ?cap xs =
+  match cap with Some c -> List.length xs > c | None -> false

@@ -1,0 +1,13 @@
+(** Small shared helpers for the bias library. *)
+
+module String_set : Set.S with type elt = string
+module String_map : Map.S with type key = string
+
+(** [power_set ?cap xs] lists every subset of [xs] (including the empty
+    set). With [cap] and more than [cap] elements, only subsets of the first
+    [cap] elements are produced, plus the singletons of the rest — a guard
+    against exponential blow-up on very wide relations. *)
+val power_set : ?cap:int -> 'a list -> 'a list list
+
+(** [power_set_truncated ?cap xs] — whether {!power_set} would truncate. *)
+val power_set_truncated : ?cap:int -> 'a list -> bool

@@ -1,0 +1,216 @@
+(** AutoBias — the paper's system, end to end.
+
+    This facade ties the substrates together: given a {!Datasets.Dataset.t}
+    (or your own database + examples), pick a {e bias-setting method} and a
+    {e sampling strategy}, and learn a Horn definition of the target
+    relation. The five methods are the columns of Table 5:
+
+    - {!Castor}: no real bias — one universal type, every attribute may be a
+      variable or a constant;
+    - {!No_const}: universal type, constants forbidden;
+    - {!Manual}: the expert-written bias shipped with the dataset;
+    - {!Foil}: top-down FOIL (the Aleph emulation), using the manual bias;
+    - {!Auto_bias}: the paper's contribution — bias induced from exact and
+      approximate INDs (type graph) and attribute cardinalities
+      (constant-threshold). *)
+
+type method_ =
+  | Castor
+  | No_const
+  | Manual
+  | Foil
+  | Auto_bias
+[@@deriving eq, show { with_path = false }]
+
+let method_to_string = function
+  | Castor -> "castor"
+  | No_const -> "noconst"
+  | Manual -> "manual"
+  | Foil -> "aleph"
+  | Auto_bias -> "autobias"
+
+let method_of_string = function
+  | "castor" -> Castor
+  | "noconst" -> No_const
+  | "manual" -> Manual
+  | "aleph" | "foil" -> Foil
+  | "autobias" -> Auto_bias
+  | s -> invalid_arg ("Autobias.method_of_string: " ^ s)
+
+let all_methods = [ Castor; No_const; Manual; Foil; Auto_bias ]
+
+type config = {
+  strategy : Sampling.Strategy.t;
+  bc_depth : int;
+  sample_size : int;
+  max_body_literals : int;
+  beam_width : int;
+  generalization_sample : int;
+  min_positives : int;
+  min_precision : float;
+  max_clauses : int;
+  timeout : float option;  (** per learning run (per fold) *)
+  constant_threshold : Discovery.Generate.threshold;
+  ind_max_error : float;  (** α for approximate INDs *)
+  use_approximate_inds : bool;  (** ablation knob; the paper always uses them *)
+  subsumption : Logic.Subsumption.config;
+}
+
+(** Defaults follow Section 6.1: ≤20 tuples per mode, constant-threshold
+    18% (relative), approximate-IND error 50%, naive sampling. *)
+let default_config =
+  {
+    strategy = Sampling.Strategy.Naive;
+    bc_depth = 2;
+    sample_size = 20;
+    max_body_literals = 400;
+    beam_width = 3;
+    generalization_sample = 10;
+    min_positives = 2;
+    min_precision = 0.7;
+    max_clauses = 20;
+    timeout = Some 120.;
+    constant_threshold = Discovery.Generate.Relative 0.18;
+    ind_max_error = 0.5;
+    use_approximate_inds = true;
+    subsumption = Logic.Subsumption.default_config;
+  }
+
+type bias_info = {
+  bias : Bias.Language.t;
+  induction : Discovery.Generate.result option;
+      (** present only for {!Auto_bias} *)
+  bias_time : float;  (** seconds spent producing the bias *)
+}
+
+(** [bias_for method_ config dataset ~train_pos] produces the language bias a
+    method uses. For {!Auto_bias} this runs the full Section 3 pipeline (IND
+    discovery over the database plus the training positives, type graph,
+    predicate/mode generation); the others are instantaneous. *)
+let bias_for method_ config (dataset : Datasets.Dataset.t) ~train_pos =
+  let t0 = Unix.gettimeofday () in
+  let schema = Relational.Database.schema dataset.Datasets.Dataset.db in
+  let target = dataset.Datasets.Dataset.target in
+  let finish bias induction =
+    { bias; induction; bias_time = Unix.gettimeofday () -. t0 }
+  in
+  match method_ with
+  | Castor -> finish (Bias.Language.castor ~schema ~target) None
+  | No_const -> finish (Bias.Language.no_const ~schema ~target) None
+  | Manual | Foil -> finish dataset.Datasets.Dataset.manual_bias None
+  | Auto_bias ->
+      let ind_config =
+        { Discovery.Ind.default_config with
+          max_error = (if config.use_approximate_inds then config.ind_max_error else 0.);
+        }
+      in
+      let result =
+        Discovery.Generate.induce ~ind_config
+          ~threshold:config.constant_threshold dataset.Datasets.Dataset.db
+          ~target ~positive_examples:train_pos
+      in
+      finish result.Discovery.Generate.bias (Some result)
+
+let bc_config config =
+  {
+    Learning.Bottom_clause.depth = config.bc_depth;
+    sample_size = config.sample_size;
+    strategy = config.strategy;
+    max_body_literals = config.max_body_literals;
+  }
+
+let learn_config config =
+  {
+    Learning.Learn.bc = bc_config config;
+    subsumption = config.subsumption;
+    beam_width = config.beam_width;
+    generalization_sample = config.generalization_sample;
+    max_beam_steps = 8;
+    eval_positives = Learning.Learn.default_config.Learning.Learn.eval_positives;
+    eval_negatives = Learning.Learn.default_config.Learning.Learn.eval_negatives;
+    min_positives = config.min_positives;
+    min_precision = config.min_precision;
+    max_clauses = config.max_clauses;
+    clause_timeout = Learning.Learn.default_config.Learning.Learn.clause_timeout;
+    max_consecutive_skips =
+      Learning.Learn.default_config.Learning.Learn.max_consecutive_skips;
+    timeout = config.timeout;
+  }
+
+let foil_config config =
+  {
+    Baselines.Foil.default_config with
+    min_positives = config.min_positives;
+    min_precision = config.min_precision;
+    max_clauses = config.max_clauses;
+    timeout = config.timeout;
+  }
+
+(** [coverage_context config dataset bias] builds the coverage-testing
+    context (ground bottom clauses are cached inside it). *)
+let coverage_context config (dataset : Datasets.Dataset.t) bias ~rng =
+  Learning.Coverage.create ~sub_config:config.subsumption
+    ~bc_config:(bc_config config) dataset.Datasets.Dataset.db bias ~rng
+
+type run_result = {
+  definition : Logic.Clause.definition;
+  bias_info : bias_info;
+  learn_time : float;
+  timed_out : bool;
+}
+
+(** [learn_once ?config method_ dataset ~rng ~train_pos ~train_neg] learns a
+    definition on one training split. *)
+let learn_once ?(config = default_config) method_ dataset ~rng ~train_pos
+    ~train_neg =
+  let bias_info = bias_for method_ config dataset ~train_pos in
+  let cov = coverage_context config dataset bias_info.bias ~rng in
+  let t0 = Unix.gettimeofday () in
+  let definition, timed_out =
+    match method_ with
+    | Foil ->
+        let r = Baselines.Foil.learn ~config:(foil_config config) cov
+            ~positives:train_pos ~negatives:train_neg
+        in
+        (r.Baselines.Foil.definition, r.Baselines.Foil.timed_out)
+    | Castor | No_const | Manual | Auto_bias ->
+        let r =
+          Learning.Learn.learn ~config:(learn_config config) cov ~rng
+            ~positives:train_pos ~negatives:train_neg
+        in
+        (r.Learning.Learn.definition, r.Learning.Learn.stats.Learning.Learn.timed_out)
+  in
+  {
+    definition;
+    bias_info;
+    learn_time = Unix.gettimeofday () -. t0;
+    timed_out;
+  }
+
+(** [cross_validate ?config ?k method_ dataset ~seed] runs the dataset's
+    k-fold protocol for one method and returns the averaged result (one cell
+    group of Table 5). The bias is induced once per fold from that fold's
+    training positives, like the paper's per-run preprocessing. *)
+let cross_validate ?(config = default_config) ?k method_
+    (dataset : Datasets.Dataset.t) ~seed =
+  let k = Option.value k ~default:dataset.Datasets.Dataset.folds in
+  let rng = Random.State.make [| seed; Hashtbl.hash (method_to_string method_) |] in
+  (* Scoring context: same bias family as the learner, built on the full
+     training bias of the first fold; ground BCs depend only on bias +
+     database, not on labels, so sharing one scoring context is sound. *)
+  let score_bias =
+    (bias_for method_ config dataset ~train_pos:dataset.Datasets.Dataset.positives).bias
+  in
+  let score_cov = coverage_context config dataset score_bias ~rng in
+  let learner =
+    {
+      Evaluation.Cross_validation.name = method_to_string method_;
+      run =
+        (fun ~rng ~train_pos ~train_neg ->
+          let r = learn_once ~config method_ dataset ~rng ~train_pos ~train_neg in
+          (r.definition, r.timed_out));
+    }
+  in
+  Evaluation.Cross_validation.run ~k learner score_cov ~rng
+    ~positives:dataset.Datasets.Dataset.positives
+    ~negatives:dataset.Datasets.Dataset.negatives

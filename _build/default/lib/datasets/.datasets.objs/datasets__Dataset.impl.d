@@ -1,0 +1,1 @@
+lib/datasets/dataset.pp.ml: Array Bias Fmt List Random Relational

@@ -1,0 +1,1 @@
+lib/datasets/dataset.pp.mli: Bias Format Random Relational

@@ -1,0 +1,1 @@
+lib/datasets/flt.pp.mli: Dataset Relational

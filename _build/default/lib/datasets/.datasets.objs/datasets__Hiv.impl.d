@@ -1,0 +1,1 @@
+lib/datasets/hiv.pp.ml: Array Bias Dataset List Printf Random Relational

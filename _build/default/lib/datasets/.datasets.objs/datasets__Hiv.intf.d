@@ -1,0 +1,1 @@
+lib/datasets/hiv.pp.mli: Dataset Relational

@@ -1,0 +1,1 @@
+lib/datasets/imdb.pp.ml: Bias Dataset Hashtbl List Printf Random Relational

@@ -1,0 +1,1 @@
+lib/datasets/imdb.pp.mli: Dataset Relational

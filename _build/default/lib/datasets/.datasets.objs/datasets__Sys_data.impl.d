@@ -1,0 +1,1 @@
+lib/datasets/sys_data.pp.ml: Bias Dataset List Printf Random Relational

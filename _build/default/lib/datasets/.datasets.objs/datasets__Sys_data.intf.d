@@ -1,0 +1,1 @@
+lib/datasets/sys_data.pp.mli: Dataset Relational

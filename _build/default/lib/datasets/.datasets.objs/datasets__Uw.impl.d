@@ -1,0 +1,1 @@
+lib/datasets/uw.pp.ml: Array Bias Dataset Hashtbl List Printf Random Relational

@@ -1,0 +1,1 @@
+lib/datasets/uw.pp.mli: Dataset Relational

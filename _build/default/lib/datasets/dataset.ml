@@ -1,0 +1,75 @@
+(** A learning task: database, target relation, labelled examples, and the
+    expert-written ("manual") language bias for the Manual baseline.
+
+    The paper's datasets are real (UW-CSE) or proprietary (FLT, SYS) or too
+    large to ship (HIV, IMDb); each generator in this library synthesizes a
+    database with the same schema shape and a {e planted} target rule plus
+    controlled noise, so the relative behaviour of bias-setting methods and
+    samplers is preserved (see DESIGN.md, "Substitutions"). *)
+
+type t = {
+  name : string;
+  description : string;
+  db : Relational.Database.t;
+  target : Relational.Schema.relation_schema;
+  positives : Relational.Relation.tuple list;
+  negatives : Relational.Relation.tuple list;
+  manual_bias : Bias.Language.t;
+  folds : int;  (** cross-validation folds the paper uses for this dataset *)
+}
+
+let summary ppf d =
+  Fmt.pf ppf "%s: %d relations, %d tuples, %d+/%d- examples, target %s@."
+    d.name
+    (List.length (Relational.Database.relations d.db))
+    (Relational.Database.total_tuples d.db)
+    (List.length d.positives) (List.length d.negatives)
+    d.target.Relational.Schema.rel_name
+
+(** Shared helpers for the generators. *)
+
+let shuffle rng l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+(** [pick rng l] is a uniform element of non-empty list [l]. *)
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(** [flip rng p] is true with probability [p]. *)
+let flip rng p = Random.State.float rng 1.0 < p
+
+(** [scaled scale n] is [n] scaled and clamped to at least 2, so tiny test
+    scales still produce workable instances. *)
+let scaled scale n = max 2 (int_of_float (float_of_int n *. scale))
+
+(** [flip_labels ~rng ~fraction d] injects label noise: a [fraction] of the
+    positives and of the negatives swap sides (the tuples are unchanged —
+    only their labels lie). Used by the robustness ablation; evaluate
+    against the {e original} dataset's labels to measure the damage. *)
+let flip_labels ~rng ~fraction d =
+  let split l =
+    let flips = int_of_float (fraction *. float_of_int (List.length l)) in
+    let shuffled = shuffle rng l in
+    let rec go n acc = function
+      | [] -> (acc, [])
+      | rest when n = 0 -> (acc, rest)
+      | x :: tl -> go (n - 1) (x :: acc) tl
+    in
+    go flips [] shuffled
+  in
+  let pos_to_neg, pos_kept = split d.positives in
+  let neg_to_pos, neg_kept = split d.negatives in
+  {
+    d with
+    positives = shuffle rng (pos_kept @ neg_to_pos);
+    negatives = shuffle rng (neg_kept @ pos_to_neg);
+  }
+
+let v_str = Relational.Value.str
+let v_int = Relational.Value.int

@@ -1,0 +1,43 @@
+(** A learning task: database, target relation, labelled examples, and the
+    expert-written ("manual") language bias.
+
+    The paper's datasets are real, proprietary, or too large to ship; each
+    generator synthesizes a database with the same schema shape and a
+    {e planted} target rule plus controlled noise, so the relative behaviour
+    of bias-setting methods and samplers is preserved (DESIGN.md,
+    "Substitutions"). *)
+
+type t = {
+  name : string;
+  description : string;
+  db : Relational.Database.t;
+  target : Relational.Schema.relation_schema;
+  positives : Relational.Relation.tuple list;
+  negatives : Relational.Relation.tuple list;
+  manual_bias : Bias.Language.t;
+  folds : int;  (** cross-validation folds the paper uses for this dataset *)
+}
+
+(** [summary ppf d] — one line: relations, tuples, examples, target. *)
+val summary : Format.formatter -> t -> unit
+
+(** {1 Helpers shared by the generators} *)
+
+val shuffle : Random.State.t -> 'a list -> 'a list
+
+(** [pick rng l] — a uniform element of non-empty [l]. *)
+val pick : Random.State.t -> 'a list -> 'a
+
+(** [flip rng p] — true with probability [p]. *)
+val flip : Random.State.t -> float -> bool
+
+(** [scaled scale n] — [n·scale], clamped to ≥ 2. *)
+val scaled : float -> int -> int
+
+(** [flip_labels ~rng ~fraction d] injects label noise: a [fraction] of each
+    class swaps sides. Evaluate against the original labels to measure the
+    damage. *)
+val flip_labels : rng:Random.State.t -> fraction:float -> t -> t
+
+val v_str : string -> Relational.Value.t
+val v_int : int -> Relational.Value.t

@@ -1,0 +1,110 @@
+(** Synthetic FLT (Section 6.1): flights and airports (the paper's version
+    came from a funded project and is proprietary).
+
+    Target: [sameSourceVia(f1, f2)] — two flights leave the same airport and
+    pass through the same location, i.e.
+
+    {v sameSourceVia(x,y) :- flight(x,s,l), flight(y,s,l) v}
+
+    The defining property is pure join structure with {e repeated variables
+    across two literals and no constants}: a bottom-up learner finds it from
+    the bottom clause, while a greedy top-down learner gets zero gain from
+    either literal alone — reproducing Aleph's 0/0 row for FLT in Table 5. *)
+
+open Dataset
+
+let schemas =
+  Relational.Schema.
+    [
+      relation "flight" [| "fid"; "src"; "dst" |];
+      relation "airport" [| "code"; "city" |];
+      relation "carrier" [| "fid"; "airline" |];
+    ]
+
+let target_schema = Relational.Schema.relation "sameSourceVia" [| "f1"; "f2" |]
+
+let manual_bias_text =
+  {|# Predicate definitions
+sameSourceVia(TF,TF)
+flight(TF,TP,TP)
+airport(TP,TCITY)
+carrier(TF,TAIR)
+# Mode definitions
+flight(+,-,-)
+flight(-,+,-)
+flight(-,-,+)
+airport(+,-)
+carrier(+,-)
+carrier(+,#)
+|}
+
+let generate ?(seed = 17) ?(scale = 1.0) () =
+  let rng = Random.State.make [| seed; 0xF17 |] in
+  let n_airports = scaled scale 40 in
+  let n_flights = scaled scale 2500 in
+  let airports = List.init n_airports (fun i -> v_str (Printf.sprintf "ap%d" i)) in
+  let airlines = List.map v_str [ "aa"; "bb"; "cc"; "dd"; "ee" ] in
+  let cities = List.init n_airports (fun i -> v_str (Printf.sprintf "city%d" i)) in
+  let find name = List.find (fun rs -> rs.Relational.Schema.rel_name = name) schemas in
+  let rel name = Relational.Relation.create (find name) in
+  let flight = rel "flight"
+  and airport = rel "airport"
+  and carrier = rel "carrier" in
+  List.iteri
+    (fun i ap -> Relational.Relation.add airport [| ap; List.nth cities i |])
+    airports;
+  let flights = ref [] in
+  for i = 0 to n_flights - 1 do
+    let fid = v_str (Printf.sprintf "f%d" i) in
+    let src = pick rng airports in
+    let dst = ref (pick rng airports) in
+    while !dst = src do dst := pick rng airports done;
+    Relational.Relation.add flight [| fid; src; !dst |];
+    Relational.Relation.add carrier [| fid; pick rng airlines |];
+    flights := (fid, src, !dst) :: !flights
+  done;
+  let db = Relational.Database.of_relations [ flight; airport; carrier ] in
+  (* Positives: pairs sharing src and dst. Group flights by (src, dst). *)
+  let by_route = Hashtbl.create 256 in
+  List.iter
+    (fun (fid, s, d) ->
+      let k = (s, d) in
+      let l = try Hashtbl.find by_route k with Not_found -> [] in
+      Hashtbl.replace by_route k (fid :: l))
+    !flights;
+  let positives = ref [] in
+  Hashtbl.iter
+    (fun _ fids ->
+      match fids with
+      | f1 :: f2 :: _ -> positives := [| f1; f2 |] :: !positives
+      | _ -> ())
+    by_route;
+  let positives =
+    shuffle rng !positives |> List.filteri (fun i _ -> i < scaled scale 200)
+  in
+  (* Negatives: random flight pairs on different routes. *)
+  let flight_arr = Array.of_list !flights in
+  let negatives = ref [] in
+  let wanted = 3 * List.length positives in
+  let attempts = ref 0 in
+  while List.length !negatives < wanted && !attempts < wanted * 20 do
+    incr attempts;
+    let f1, s1, d1 = flight_arr.(Random.State.int rng (Array.length flight_arr)) in
+    let f2, s2, d2 = flight_arr.(Random.State.int rng (Array.length flight_arr)) in
+    if f1 <> f2 && not (s1 = s2 && d1 = d2) then
+      negatives := [| f1; f2 |] :: !negatives
+  done;
+  let manual_bias =
+    Bias.Language.parse ~schema:schemas ~target:target_schema manual_bias_text
+  in
+  {
+    name = "flt";
+    description =
+      "synthetic flights; target sameSourceVia(f1,f2) = same source and same via";
+    db;
+    target = target_schema;
+    positives;
+    negatives = !negatives;
+    manual_bias;
+    folds = 10;
+  }

@@ -1,0 +1,16 @@
+(** Synthetic FLT (Section 6.1; the original is proprietary): flights and
+    airports.
+
+    Target: [sameSourceVia(f1, f2)] — two flights with the same source that
+    pass through the same location:
+    [sameSourceVia(X,Y) :- flight(X,S,L), flight(Y,S,L)]. Pure join
+    structure with repeated variables and no constants — bottom-up
+    generalization finds it, greedy top-down gain cannot (Aleph's 0/0 row). *)
+
+val schemas : Relational.Schema.t
+val target_schema : Relational.Schema.relation_schema
+val manual_bias_text : string
+
+(** [generate ?seed ?scale ()] — deterministic per seed; [scale] multiplies
+    flight/airport counts (default 1.0 = 2500 flights). *)
+val generate : ?seed:int -> ?scale:float -> unit -> Dataset.t

@@ -1,0 +1,146 @@
+(** Synthetic HIV (Section 6.1): chemical compounds as atom/bond graphs.
+
+    Target: [antiHIV(comp)]. The planted pharmacophore is a nitro-like
+    substructure — a nitrogen atom double-bonded to an oxygen atom (bond type [double]) — which
+    ~90% of the positive compounds contain; ~5% of the negative compounds
+    contain it too (noise). The paper's defining properties are reproduced:
+    the data is the largest multi-relational one, element frequencies are
+    heavily skewed (carbon/hydrogen everywhere, nitrogen/oxygen uncommon,
+    trace elements rare), and the target needs a multi-literal join through
+    the bond graph — the regime where random semi-join sampling beats naive
+    sampling (Table 6). *)
+
+open Dataset
+
+let schemas =
+  Relational.Schema.
+    [
+      relation "compound" [| "comp" |];
+      relation "atm" [| "comp"; "atom"; "elem" |];
+      relation "bond" [| "comp"; "atom1"; "atom2"; "btype" |];
+      relation "atomCharge" [| "atom"; "charge" |];
+      relation "compoundWeight" [| "comp"; "weight" |];
+    ]
+
+let target_schema = Relational.Schema.relation "antiHIV" [| "comp" |]
+
+let manual_bias_text =
+  {|# Predicate definitions
+antiHIV(TC)
+compound(TC)
+atm(TC,TA,TE)
+bond(TC,TA,TA,TB)
+atomCharge(TA,TH)
+compoundWeight(TC,TW)
+# Mode definitions
+compound(+)
+atm(+,-,-)
+atm(+,-,#)
+atm(-,+,-)
+atm(-,+,#)
+bond(+,-,-,-)
+bond(-,+,-,-)
+bond(-,+,-,#)
+bond(-,-,+,-)
+bond(-,-,+,#)
+atomCharge(+,-)
+compoundWeight(+,-)
+|}
+
+(* Element alphabet with skewed frequencies: c and h dominate; n, o are the
+   pharmacophore; the tail is rare. *)
+let random_element rng =
+  let r = Random.State.float rng 1.0 in
+  if r < 0.45 then "c"
+  else if r < 0.80 then "h"
+  else if r < 0.88 then "o"
+  else if r < 0.94 then "n"
+  else if r < 0.97 then "s"
+  else if r < 0.985 then "cl"
+  else if r < 0.995 then "f"
+  else "li"
+
+let generate ?(seed = 13) ?(scale = 1.0) () =
+  let rng = Random.State.make [| seed; 0x417 |] in
+  let n_compounds = scaled scale 300 in
+  let find name = List.find (fun rs -> rs.Relational.Schema.rel_name = name) schemas in
+  let rel name = Relational.Relation.create (find name) in
+  let compound = rel "compound"
+  and atm = rel "atm"
+  and bond = rel "bond"
+  and atom_charge = rel "atomCharge"
+  and compound_weight = rel "compoundWeight" in
+  let atom_counter = ref 0 in
+  let fresh_atom () =
+    incr atom_counter;
+    v_str (Printf.sprintf "a%d" !atom_counter)
+  in
+  let positives = ref [] and negatives = ref [] in
+  for ci = 0 to n_compounds - 1 do
+    let comp = v_str (Printf.sprintf "comp%d" ci) in
+    Relational.Relation.add compound [| comp |];
+    let is_positive = ci mod 3 = 0 in
+    (* 1:2 positive:negative, as in the paper. *)
+    let n_atoms = 10 + Random.State.int rng 15 in
+    let atoms =
+      List.init n_atoms (fun _ ->
+          let a = fresh_atom () in
+          let e = random_element rng in
+          Relational.Relation.add atm [| comp; a; v_str e |];
+          Relational.Relation.add atom_charge
+            [| a; v_int (Random.State.int rng 5 - 2) |];
+          (a, e))
+    in
+    (* A random connected-ish skeleton: each atom bonds to a previous one. *)
+    let arr = Array.of_list atoms in
+    for i = 1 to Array.length arr - 1 do
+      let j = Random.State.int rng i in
+      let a1, _ = arr.(i) and a2, _ = arr.(j) in
+      (* Background double bonds (mostly C=C/C=O) keep the bond type alone
+         from separating the classes: the learner must conjoin the nitrogen
+         and oxygen atom literals with the double bond. *)
+      let r = Random.State.float rng 1.0 in
+      let btype =
+        if r < 0.72 then "single" else if r < 0.92 then "aromatic" else "double"
+      in
+      Relational.Relation.add bond [| comp; a1; a2; v_str btype |]
+    done;
+    (* Plant the pharmacophore: n =2= o. 90% of positives, 5% of
+       negatives. *)
+    let plant =
+      (is_positive && flip rng 0.9) || ((not is_positive) && flip rng 0.05)
+    in
+    if plant then begin
+      let n_atom = fresh_atom () and o_atom = fresh_atom () in
+      Relational.Relation.add atm [| comp; n_atom; v_str "n" |];
+      Relational.Relation.add atm [| comp; o_atom; v_str "o" |];
+      Relational.Relation.add atom_charge [| n_atom; v_int 1 |];
+      Relational.Relation.add atom_charge [| o_atom; v_int (-1) |];
+      Relational.Relation.add bond [| comp; n_atom; o_atom; v_str "double" |];
+      (* Attach the group to the skeleton. *)
+      let anchor, _ = arr.(Random.State.int rng (Array.length arr)) in
+      Relational.Relation.add bond [| comp; anchor; n_atom; v_str "single" |]
+    end;
+    Relational.Relation.add compound_weight
+      [| comp; v_int (100 + Random.State.int rng 400) |];
+    if is_positive then positives := [| comp |] :: !positives
+    else negatives := [| comp |] :: !negatives
+  done;
+  let db =
+    Relational.Database.of_relations
+      [ compound; atm; bond; atom_charge; compound_weight ]
+  in
+  let manual_bias =
+    Bias.Language.parse ~schema:schemas ~target:target_schema manual_bias_text
+  in
+  {
+    name = "hiv";
+    description =
+      "synthetic anti-HIV compounds; target antiHIV(comp), planted N=O pharmacophore";
+    db;
+    target = target_schema;
+    positives = shuffle rng !positives;
+    negatives = shuffle rng !negatives;
+    manual_bias;
+    folds = 10;
+  }

@@ -1,0 +1,15 @@
+(** Synthetic HIV (Section 6.1): compounds as atom/bond graphs with heavily
+    skewed element frequencies.
+
+    Target: [antiHIV(comp)]. Planted pharmacophore: a nitrogen double-bonded
+    to an oxygen (~90% of positives, ~5% of negatives); background double
+    bonds keep the bond type alone from separating the classes, so the rule
+    needs a multi-literal join through the bond graph. *)
+
+val schemas : Relational.Schema.t
+val target_schema : Relational.Schema.relation_schema
+val manual_bias_text : string
+
+(** [generate ?seed ?scale ()] — deterministic per seed; [scale] multiplies
+    the compound count (default 1.0 = 300 compounds ≈ 25k tuples). *)
+val generate : ?seed:int -> ?scale:float -> unit -> Dataset.t

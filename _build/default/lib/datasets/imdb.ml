@@ -1,0 +1,136 @@
+(** Synthetic IMDb (Section 6.1): movies and the people who make them.
+
+    Target: [dramaDirector(dir)] — the director directed a drama movie. The
+    defining property of this dataset in the paper is that the accurate
+    definition {e needs a constant} ([genre = drama]), which is why
+    Castor-NoConst collapses on it while Manual and AutoBias reach F-measure
+    ≈ 0.99 (Table 5). The schema is a representative subset of IMDb's 46
+    relations: enough join structure for decoys, with the genre attribute
+    comfortably under the constant-threshold. *)
+
+open Dataset
+
+let schemas =
+  Relational.Schema.
+    [
+      relation "movie" [| "mid" |];
+      relation "director" [| "did" |];
+      relation "actor" [| "aid" |];
+      relation "directedBy" [| "mid"; "did" |];
+      relation "castMember" [| "mid"; "aid" |];
+      relation "genre" [| "mid"; "gname" |];
+      relation "releaseYear" [| "mid"; "year" |];
+      relation "country" [| "mid"; "cname" |];
+      relation "rating" [| "mid"; "stars" |];
+    ]
+
+let target_schema = Relational.Schema.relation "dramaDirector" [| "did" |]
+
+let manual_bias_text =
+  {|# Predicate definitions
+dramaDirector(TD)
+movie(TM)
+director(TD)
+actor(TA)
+directedBy(TM,TD)
+castMember(TM,TA)
+genre(TM,TG)
+releaseYear(TM,TY)
+country(TM,TC)
+rating(TM,TR)
+# Mode definitions
+movie(+)
+director(+)
+actor(+)
+directedBy(+,-)
+directedBy(-,+)
+castMember(+,-)
+castMember(-,+)
+genre(+,-)
+genre(+,#)
+releaseYear(+,-)
+country(+,-)
+country(+,#)
+rating(+,-)
+|}
+
+let genres =
+  [ "drama"; "comedy"; "action"; "thriller"; "horror"; "documentary"; "romance" ]
+
+let generate ?(seed = 11) ?(scale = 1.0) () =
+  let rng = Random.State.make [| seed; 0x1Db |] in
+  (* ~2 movies per director and a modest per-movie drama probability keep
+     drama directors a minority, so the positive:negative ratio lands near
+     the paper's 1:2. *)
+  let n_movies = scaled scale 600 in
+  let n_directors = scaled scale 300 in
+  let n_actors = scaled scale 500 in
+  let movies = List.init n_movies (fun i -> v_str (Printf.sprintf "m%d" i)) in
+  let directors = List.init n_directors (fun i -> v_str (Printf.sprintf "d%d" i)) in
+  let actors = List.init n_actors (fun i -> v_str (Printf.sprintf "a%d" i)) in
+  let countries = List.map v_str [ "us"; "uk"; "fr"; "in"; "jp"; "de" ] in
+  let find name = List.find (fun rs -> rs.Relational.Schema.rel_name = name) schemas in
+  let rel name = Relational.Relation.create (find name) in
+  let movie = rel "movie"
+  and director = rel "director"
+  and actor = rel "actor"
+  and directed_by = rel "directedBy"
+  and cast_member = rel "castMember"
+  and genre = rel "genre"
+  and release_year = rel "releaseYear"
+  and country = rel "country"
+  and rating = rel "rating" in
+  List.iter (fun m -> Relational.Relation.add movie [| m |]) movies;
+  List.iter (fun d -> Relational.Relation.add director [| d |]) directors;
+  List.iter (fun a -> Relational.Relation.add actor [| a |]) actors;
+  let drama_directors = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      let d = pick rng directors in
+      Relational.Relation.add directed_by [| m; d |];
+      (* Movies carry 1–2 genres; drama with ~30% probability. *)
+      let gs =
+        let g1 = pick rng (List.map v_str genres) in
+        if flip rng 0.3 then
+          let g2 = pick rng (List.map v_str genres) in
+          if g1 = g2 then [ g1 ] else [ g1; g2 ]
+        else [ g1 ]
+      in
+      List.iter (fun g -> Relational.Relation.add genre [| m; g |]) gs;
+      if List.mem (v_str "drama") gs then Hashtbl.replace drama_directors d ();
+      Relational.Relation.add release_year
+        [| m; v_int (1960 + Random.State.int rng 60) |];
+      Relational.Relation.add country [| m; pick rng countries |];
+      Relational.Relation.add rating [| m; v_int (1 + Random.State.int rng 10) |];
+      for _ = 1 to 2 + Random.State.int rng 4 do
+        Relational.Relation.add cast_member [| m; pick rng actors |]
+      done)
+    movies;
+  let db =
+    Relational.Database.of_relations
+      [ movie; director; actor; directed_by; cast_member; genre; release_year;
+        country; rating ]
+  in
+  let positives, negatives =
+    List.partition (fun d -> Hashtbl.mem drama_directors d) directors
+  in
+  let positives = List.map (fun d -> [| d |]) positives in
+  let negatives = List.map (fun d -> [| d |]) negatives in
+  (* Balance roughly 1:2 as in the paper. *)
+  let negatives =
+    let wanted = 2 * List.length positives in
+    List.filteri (fun i _ -> i < wanted) negatives
+  in
+  let manual_bias =
+    Bias.Language.parse ~schema:schemas ~target:target_schema manual_bias_text
+  in
+  {
+    name = "imdb";
+    description = "synthetic IMDb; target dramaDirector(did), needs constant 'drama'";
+    db;
+    target = target_schema;
+    positives = shuffle rng positives;
+    negatives = shuffle rng negatives;
+    manual_bias;
+    folds = 10;
+  }

@@ -1,0 +1,14 @@
+(** Synthetic IMDb (Section 6.1): movies and the people who make them.
+
+    Target: [dramaDirector(did)] — directed a drama movie. The accurate
+    definition {e needs the constant} ['drama'], the dataset's defining
+    property in Table 5 (Castor-NoConst collapses on it). *)
+
+val schemas : Relational.Schema.t
+val target_schema : Relational.Schema.relation_schema
+val manual_bias_text : string
+val genres : string list
+
+(** [generate ?seed ?scale ()] — deterministic per seed; [scale] multiplies
+    entity counts (default 1.0 ≈ 600 movies). *)
+val generate : ?seed:int -> ?scale:float -> unit -> Dataset.t

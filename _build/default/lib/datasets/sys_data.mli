@@ -1,0 +1,17 @@
+(** Synthetic SYS (Section 6.1; the original came from a private company):
+    process activity in a single wide relation.
+
+    Target: [malicious(proc)] — the process both writes into a system area
+    and executes a shell; each half alone is common among benign processes
+    (greedy top-down gain stalls), and the definition needs constants on the
+    low-cardinality op/objclass attributes (NoConst cannot express it). *)
+
+val schemas : Relational.Schema.t
+val target_schema : Relational.Schema.relation_schema
+val manual_bias_text : string
+val ops : string list
+val classes : string list
+
+(** [generate ?seed ?scale ()] — deterministic per seed; [scale] multiplies
+    the process count (default 1.0 = 700 processes ≈ 18k events). *)
+val generate : ?seed:int -> ?scale:float -> unit -> Dataset.t

@@ -1,0 +1,200 @@
+(** Synthetic UW-CSE (Section 1 / Table 2): a computer-science department.
+
+    Target: [advisedBy(stud, prof)]. Planted generators of the label:
+    roughly half of the advised pairs co-author a publication, and a fifth
+    have the student TA a course the professor teaches — so a learner can
+    explain only part of the positives (the paper's Table 5 reports recall
+    around 0.5 for every method on UW). Noise: some non-advised pairs also
+    co-author, which caps precision. *)
+
+open Dataset
+
+let schemas =
+  Relational.Schema.
+    [
+      relation "student" [| "stud" |];
+      relation "professor" [| "prof" |];
+      relation "inPhase" [| "stud"; "phase" |];
+      relation "hasPosition" [| "prof"; "position" |];
+      relation "yearsInProgram" [| "stud"; "years" |];
+      relation "taughtBy" [| "course"; "prof"; "term" |];
+      relation "ta" [| "course"; "stud"; "term" |];
+      relation "courseLevel" [| "course"; "level" |];
+      relation "publication" [| "title"; "person" |];
+    ]
+
+let target_schema = Relational.Schema.relation "advisedBy" [| "stud"; "prof" |]
+
+let manual_bias_text =
+  {|# Predicate definitions (expert-written, after Table 3)
+advisedBy(T1,T3)
+student(T1)
+professor(T3)
+inPhase(T1,T2)
+hasPosition(T3,T4)
+yearsInProgram(T1,T6)
+taughtBy(T7,T3,T8)
+ta(T7,T1,T8)
+courseLevel(T7,T9)
+publication(T5,T1)
+publication(T5,T3)
+# Mode definitions
+student(+)
+professor(+)
+inPhase(+,-)
+inPhase(+,#)
+hasPosition(+,-)
+hasPosition(+,#)
+yearsInProgram(+,-)
+taughtBy(+,-,-)
+taughtBy(-,+,-)
+ta(+,-,-)
+ta(-,+,-)
+courseLevel(+,-)
+publication(+,-)
+publication(-,+)
+|}
+
+(** [table4_fragment ()] is the exact database fragment of Table 4 of the
+    paper, used by the quickstart example and the Example 2.5 regression
+    test: two students, two professors, phases, positions, and the
+    publications that make [advisedBy(juan, sarita)] learnable. *)
+let table4_fragment () =
+  let find name = List.find (fun rs -> rs.Relational.Schema.rel_name = name) schemas in
+  let of_rows name rows =
+    Relational.Relation.of_tuples (find name)
+      (List.map (fun row -> Array.of_list (List.map v_str row)) rows)
+  in
+  Relational.Database.of_relations
+    [
+      of_rows "student" [ [ "juan" ]; [ "john" ] ];
+      of_rows "professor" [ [ "sarita" ]; [ "mary" ] ];
+      of_rows "inPhase" [ [ "juan"; "post_quals" ]; [ "john"; "post_quals" ] ];
+      of_rows "hasPosition"
+        [ [ "sarita"; "assistant_prof" ]; [ "mary"; "associate_prof" ] ];
+      of_rows "publication"
+        [ [ "p1"; "juan" ]; [ "p1"; "sarita" ]; [ "p2"; "john" ]; [ "p2"; "mary" ] ];
+      of_rows "yearsInProgram" [];
+      of_rows "taughtBy" [];
+      of_rows "ta" [];
+      of_rows "courseLevel" [];
+    ]
+
+let generate ?(seed = 7) ?(scale = 1.0) () =
+  let rng = Random.State.make [| seed; 0x07 |] in
+  let n_students = scaled scale 60 in
+  let n_profs = scaled scale 20 in
+  let n_courses = scaled scale 30 in
+  let students = List.init n_students (fun i -> v_str (Printf.sprintf "s%d" i)) in
+  let profs = List.init n_profs (fun i -> v_str (Printf.sprintf "p%d" i)) in
+  let courses = List.init n_courses (fun i -> v_str (Printf.sprintf "c%d" i)) in
+  let terms = List.map v_str [ "autumn"; "winter"; "spring" ] in
+  let phases = List.map v_str [ "pre_quals"; "post_quals"; "abd" ] in
+  let positions =
+    List.map v_str [ "assistant_prof"; "associate_prof"; "full_prof" ]
+  in
+  let levels = List.map v_str [ "level300"; "level400"; "level500" ] in
+  let find name = List.find (fun rs -> rs.Relational.Schema.rel_name = name) schemas in
+  let rel name = Relational.Relation.create (find name) in
+  let student = rel "student"
+  and professor = rel "professor"
+  and in_phase = rel "inPhase"
+  and has_position = rel "hasPosition"
+  and years = rel "yearsInProgram"
+  and taught_by = rel "taughtBy"
+  and ta = rel "ta"
+  and course_level = rel "courseLevel"
+  and publication = rel "publication" in
+  List.iter (fun s -> Relational.Relation.add student [| s |]) students;
+  List.iter (fun p -> Relational.Relation.add professor [| p |]) profs;
+  List.iter
+    (fun s ->
+      Relational.Relation.add in_phase [| s; pick rng phases |];
+      Relational.Relation.add years [| s; v_int (1 + Random.State.int rng 7) |])
+    students;
+  List.iter
+    (fun p -> Relational.Relation.add has_position [| p; pick rng positions |])
+    profs;
+  (* Courses: each taught by one professor, each gets a level. *)
+  let teacher_of = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      let p = pick rng profs in
+      Hashtbl.replace teacher_of c p;
+      Relational.Relation.add taught_by [| c; p; pick rng terms |];
+      Relational.Relation.add course_level [| c; pick rng levels |])
+    courses;
+  (* Advising: each student is advised by one professor. *)
+  let pub_counter = ref 0 in
+  let fresh_pub () =
+    incr pub_counter;
+    v_str (Printf.sprintf "pub%d" !pub_counter)
+  in
+  let co_publish a b =
+    let t = fresh_pub () in
+    Relational.Relation.add publication [| t; a |];
+    Relational.Relation.add publication [| t; b |]
+  in
+  let advised = ref [] in
+  List.iter
+    (fun s ->
+      let p = pick rng profs in
+      advised := (s, p) :: !advised;
+      (* ~55% of advised pairs co-author; ~20% have a TA relationship with a
+         course the advisor teaches. The rest leave no learnable trace. *)
+      if flip rng 0.55 then co_publish s p;
+      if flip rng 0.20 then begin
+        let advisor_courses =
+          List.filter (fun c -> Hashtbl.find teacher_of c = p) courses
+        in
+        match advisor_courses with
+        | [] -> ()
+        | cs -> Relational.Relation.add ta [| pick rng cs; s; pick rng terms |]
+      end)
+    students;
+  (* Noise: solo-ish publications and spurious co-authorships. *)
+  List.iter
+    (fun s -> if flip rng 0.3 then co_publish s (pick rng students))
+    students;
+  List.iter
+    (fun p -> if flip rng 0.5 then co_publish p (pick rng profs))
+    profs;
+  (* Random TAs unrelated to advising. *)
+  List.iter
+    (fun s -> if flip rng 0.15 then Relational.Relation.add ta [| pick rng courses; s; pick rng terms |])
+    students;
+  let db =
+    Relational.Database.of_relations
+      [ student; professor; in_phase; has_position; years; taught_by; ta;
+        course_level; publication ]
+  in
+  let positives = List.rev_map (fun (s, p) -> [| s; p |]) !advised in
+  (* Negatives: non-advised (student, professor) pairs; ~8% get a spurious
+     co-publication so precision stays below 1. *)
+  let advised_set = Hashtbl.create 64 in
+  List.iter (fun (s, p) -> Hashtbl.replace advised_set (s, p) ()) !advised;
+  let negatives = ref [] in
+  let wanted = 2 * List.length positives in
+  let attempts = ref 0 in
+  while List.length !negatives < wanted && !attempts < wanted * 20 do
+    incr attempts;
+    let s = pick rng students and p = pick rng profs in
+    if not (Hashtbl.mem advised_set (s, p)) then begin
+      Hashtbl.replace advised_set (s, p) ();
+      if flip rng 0.08 then co_publish s p;
+      negatives := [| s; p |] :: !negatives
+    end
+  done;
+  let manual_bias =
+    Bias.Language.parse ~schema:schemas ~target:target_schema manual_bias_text
+  in
+  {
+    name = "uw";
+    description = "synthetic UW-CSE department; target advisedBy(stud,prof)";
+    db;
+    target = target_schema;
+    positives = shuffle rng positives;
+    negatives = shuffle rng !negatives;
+    manual_bias;
+    folds = 5;
+  }

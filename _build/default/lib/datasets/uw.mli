@@ -1,0 +1,20 @@
+(** Synthetic UW-CSE (the paper's running example; Tables 2–4).
+
+    Target: [advisedBy(stud, prof)]. Planted signals: roughly half the
+    advised pairs co-author a publication and a fifth TA a course their
+    advisor teaches, so recall tops out around the paper's ~0.5; spurious
+    co-authorships cap precision. *)
+
+val schemas : Relational.Schema.t
+val target_schema : Relational.Schema.relation_schema
+
+(** The expert bias in the concrete syntax of Table 3. *)
+val manual_bias_text : string
+
+(** [table4_fragment ()] is the exact database fragment of Table 4, used by
+    the quickstart example and the Example 2.5 regression test. *)
+val table4_fragment : unit -> Relational.Database.t
+
+(** [generate ?seed ?scale ()] builds the dataset; deterministic per seed.
+    [scale] multiplies entity counts (default 1.0 ≈ 60 students). *)
+val generate : ?seed:int -> ?scale:float -> unit -> Dataset.t

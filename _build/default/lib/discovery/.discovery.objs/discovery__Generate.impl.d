@@ -1,0 +1,1 @@
+lib/discovery/generate.pp.ml: Array Bias Ind List Logs Printf Relational Type_graph Unix

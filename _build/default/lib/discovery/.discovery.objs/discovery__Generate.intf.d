@@ -1,0 +1,1 @@
+lib/discovery/generate.pp.mli: Bias Ind Relational Type_graph

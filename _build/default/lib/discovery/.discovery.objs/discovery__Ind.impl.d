@@ -1,0 +1,1 @@
+lib/discovery/ind.pp.ml: Array Float Fmt Hashtbl List Ppx_deriving_runtime Printf Relational

@@ -1,0 +1,1 @@
+lib/discovery/ind.pp.mli: Format Relational

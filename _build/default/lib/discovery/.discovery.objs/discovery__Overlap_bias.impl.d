@@ -1,0 +1,1 @@
+lib/discovery/overlap_bias.pp.ml: Array Bias Generate Hashtbl List Relational

@@ -1,0 +1,1 @@
+lib/discovery/overlap_bias.pp.mli: Bias Generate Relational

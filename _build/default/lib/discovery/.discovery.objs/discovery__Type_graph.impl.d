@@ -1,0 +1,1 @@
+lib/discovery/type_graph.pp.ml: Array Bias Buffer Fmt Hashtbl Ind List Ppx_deriving_runtime Printf Relational String

@@ -1,0 +1,1 @@
+lib/discovery/type_graph.pp.mli: Bias Format Ind Relational

@@ -1,0 +1,157 @@
+(** Unary inclusion-dependency discovery (Section 3.1).
+
+    Exact INDs are found with a Binder-style divide-and-conquer [43]: the
+    distinct values of every attribute are partitioned into hash buckets;
+    every candidate IND [A ⊆ B] is then validated bucket by bucket — a value
+    of A hashed into bucket k can only appear in B's bucket k, so each check
+    touches a small, cache-friendly slice, and a candidate is discarded the
+    moment one bucket refutes it.
+
+    The same pass measures the {e error} of every failed candidate — the
+    fraction of distinct A-values missing from B — which yields the
+    approximate INDs [(A ⊆ B, α)] of the paper: candidates whose error is at
+    most [max_error] (the paper uses a deliberately loose 50%). *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+
+type t = {
+  sub : Schema.attribute;  (** the included side, R[A] *)
+  sup : Schema.attribute;  (** the including side, S[B] *)
+  error : float;  (** 0.0 for exact INDs *)
+}
+[@@deriving eq, show { with_path = false }]
+
+let is_exact ind = ind.error = 0.
+
+let to_string ind =
+  if is_exact ind then
+    Printf.sprintf "%s ⊆ %s"
+      (Schema.attribute_to_string ind.sub)
+      (Schema.attribute_to_string ind.sup)
+  else
+    Printf.sprintf "%s ⊆ %s (α=%.2f)"
+      (Schema.attribute_to_string ind.sub)
+      (Schema.attribute_to_string ind.sup)
+      ind.error
+
+let pp_short ppf ind = Fmt.string ppf (to_string ind)
+
+(* Distinct values of one attribute, partitioned into [buckets] hash
+   buckets. *)
+type column = {
+  attr : Schema.attribute;
+  bucket_sets : Value.Set.t array;
+  distinct : int;
+}
+
+let column_of ~buckets (attr : Schema.attribute) rel pos =
+  let bucket_sets = Array.make buckets Value.Set.empty in
+  let distinct = ref 0 in
+  List.iter
+    (fun v ->
+      let b = Value.hash v mod buckets in
+      if not (Value.Set.mem v bucket_sets.(b)) then begin
+        bucket_sets.(b) <- Value.Set.add v bucket_sets.(b);
+        incr distinct
+      end)
+    (Relational.Relation.distinct_values rel pos);
+  { attr; bucket_sets; distinct = !distinct }
+
+(* Error of candidate sub ⊆ sup: fraction of sub's distinct values missing
+   from sup. Buckets are scanned in order and the scan aborts once the error
+   cannot come back under [give_up]. *)
+let candidate_error ~give_up sub sup =
+  if sub.distinct = 0 then 0.
+  else begin
+    let total = float_of_int sub.distinct in
+    let allowed = int_of_float (Float.ceil (give_up *. total)) in
+    let missing = ref 0 in
+    (try
+       Array.iteri
+         (fun i s ->
+           let miss = Value.Set.cardinal (Value.Set.diff s sup.bucket_sets.(i)) in
+           missing := !missing + miss;
+           if !missing > allowed then raise Exit)
+         sub.bucket_sets
+     with Exit -> ());
+    float_of_int !missing /. total
+  end
+
+type config = {
+  buckets : int;  (** hash buckets for the divide-and-conquer validation *)
+  max_error : float;  (** approximate-IND error threshold α (paper: 0.5) *)
+  min_overlap : int;
+      (** candidates whose left side has fewer distinct values than this are
+          kept only if exact — guards against spurious approximate INDs
+          between tiny columns *)
+}
+
+let default_config = { buckets = 61; max_error = 0.5; min_overlap = 2 }
+
+(** [discover ?config db ~extra] finds every non-trivial unary IND (exact and
+    approximate up to [config.max_error]) among all attributes of [db] plus
+    the relations in [extra] (the training-example relation is passed here so
+    the target's attributes get typed too). Results are sorted by error then
+    lexicographically, so output order is deterministic. *)
+let discover ?(config = default_config) db ~extra =
+  let rels = Relational.Database.relations db @ extra in
+  let columns =
+    List.concat_map
+      (fun rel ->
+        let rs = Relational.Relation.schema rel in
+        List.mapi
+          (fun pos name ->
+            column_of ~buckets:config.buckets
+              (Schema.attr rs.Schema.rel_name name)
+              rel pos)
+          (Array.to_list rs.Schema.attrs))
+      rels
+  in
+  let out = ref [] in
+  List.iter
+    (fun sub ->
+      List.iter
+        (fun sup ->
+          if not (Schema.equal_attribute sub.attr sup.attr) then begin
+            let error = candidate_error ~give_up:config.max_error sub sup in
+            let acceptable =
+              if error = 0. then sub.distinct > 0
+              else error <= config.max_error && sub.distinct >= config.min_overlap
+            in
+            if acceptable then
+              out := { sub = sub.attr; sup = sup.attr; error } :: !out
+          end)
+        columns)
+    columns;
+  List.sort
+    (fun a b ->
+      match compare a.error b.error with
+      | 0 -> compare (to_string a) (to_string b)
+      | c -> c)
+    !out
+
+(** [keep_lower_of_symmetric inds] applies the paper's rule for approximate
+    INDs that hold in both directions: only the lower-error direction is
+    kept. Exact INDs are never dropped (two exact directions form a cycle,
+    which Algorithm 3 handles by unifying types). *)
+let keep_lower_of_symmetric inds =
+  let approx_error = Hashtbl.create 64 in
+  List.iter
+    (fun ind ->
+      if not (is_exact ind) then
+        Hashtbl.replace approx_error (ind.sub, ind.sup) ind.error)
+    inds;
+  List.filter
+    (fun ind ->
+      is_exact ind
+      ||
+      match Hashtbl.find_opt approx_error (ind.sup, ind.sub) with
+      | Some reverse_error ->
+          ind.error < reverse_error
+          || (ind.error = reverse_error
+             && compare (to_string ind)
+                  (to_string { sub = ind.sup; sup = ind.sub; error = reverse_error })
+                <= 0)
+      | None -> true)
+    inds

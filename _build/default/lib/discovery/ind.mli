@@ -1,0 +1,42 @@
+(** Unary inclusion-dependency discovery (Section 3.1), Binder-style [43]:
+    each attribute's distinct values are hash-partitioned into buckets and
+    candidates are validated bucket by bucket, aborting a candidate the
+    moment its error exceeds the threshold. The same pass yields the
+    approximate INDs [(A ⊆ B, α)]. *)
+
+type t = {
+  sub : Relational.Schema.attribute;  (** the included side, R[A] *)
+  sup : Relational.Schema.attribute;  (** the including side, S[B] *)
+  error : float;  (** 0.0 for exact INDs *)
+}
+
+val equal : t -> t -> bool
+val is_exact : t -> bool
+
+(** [to_string ind] is ["R[A] ⊆ S[B]"], with ["(α=…)"] when approximate. *)
+val to_string : t -> string
+
+val pp_short : Format.formatter -> t -> unit
+
+type config = {
+  buckets : int;  (** hash buckets for divide-and-conquer validation *)
+  max_error : float;  (** approximate-IND threshold α (the paper uses 0.5) *)
+  min_overlap : int;
+      (** approximate candidates whose left side has fewer distinct values
+          are dropped — guards against spurious INDs between tiny columns *)
+}
+
+val default_config : config
+
+(** [discover ?config db ~extra] finds every non-trivial unary IND (exact
+    and approximate up to [max_error]) among the attributes of [db] plus the
+    relations in [extra] (pass the positive-example relation so the target's
+    columns get typed). Deterministically ordered. *)
+val discover :
+  ?config:config -> Relational.Database.t -> extra:Relational.Relation.t list -> t list
+
+(** [keep_lower_of_symmetric inds] applies the paper's rule: of two
+    approximate INDs in opposite directions only the lower-error one is
+    kept; exact INDs are never dropped (two exact directions form a cycle,
+    which Algorithm 3 resolves by unifying types). *)
+val keep_lower_of_symmetric : t list -> t list

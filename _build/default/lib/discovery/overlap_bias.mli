@@ -1,0 +1,28 @@
+(** The McCreath & Sharma style bias induction the paper contrasts itself
+    with (reference [34]): same type as soon as two attributes' value sets
+    overlap in one element — i.e. types are the connected components of the
+    overlap graph, which snowball into an under-restricted hypothesis space.
+    For the bench's hypothesis-space ablation. *)
+
+(** [type_components db ~extra] — every attribute with its component type
+    name ([O1], [O2], …, deterministic). *)
+val type_components :
+  Relational.Database.t ->
+  extra:Relational.Relation.t list ->
+  (Relational.Schema.attribute * string) list
+
+(** [induce ?threshold ?power_set_cap db ~target ~positive_examples] — a
+    complete bias: overlap typing + AutoBias's cardinality-based modes, so
+    the typing policy is the only difference from
+    {!Generate.induce}. *)
+val induce :
+  ?threshold:Generate.threshold ->
+  ?power_set_cap:int ->
+  Relational.Database.t ->
+  target:Relational.Schema.relation_schema ->
+  positive_examples:Relational.Relation.tuple list ->
+  Bias.Language.t
+
+(** [joinable_pairs bias] — unordered attribute pairs a clause may join
+    under [bias]; the hypothesis-space size proxy. *)
+val joinable_pairs : Bias.Language.t -> int

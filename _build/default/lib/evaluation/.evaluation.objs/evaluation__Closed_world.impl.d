@@ -1,0 +1,1 @@
+lib/evaluation/closed_world.pp.ml: Array Bias Hashtbl List Random Relational

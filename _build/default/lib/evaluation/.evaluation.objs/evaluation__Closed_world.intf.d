@@ -1,0 +1,1 @@
+lib/evaluation/closed_world.pp.mli: Bias Random Relational

@@ -1,0 +1,1 @@
+lib/evaluation/cross_validation.pp.ml: Array Datasets Fmt List Logic Metrics Printf Random Relational Unix

@@ -1,0 +1,1 @@
+lib/evaluation/cross_validation.pp.mli: Format Learning Logic Metrics Random Relational

@@ -1,0 +1,1 @@
+lib/evaluation/metrics.pp.ml: Fmt Learning List Ppx_deriving_runtime

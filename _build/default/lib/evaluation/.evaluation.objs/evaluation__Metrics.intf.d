@@ -1,0 +1,1 @@
+lib/evaluation/metrics.pp.mli: Format Learning Logic Relational

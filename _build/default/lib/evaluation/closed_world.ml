@@ -1,0 +1,80 @@
+(** Negative-example generation under the closed-world assumption.
+
+    The paper's datasets ship labelled negatives, but a downstream user
+    often has only positive examples of the new target relation. Under the
+    closed-world assumption any target tuple not listed as positive is
+    negative; this module samples such tuples {e plausibly} — each argument
+    is drawn from the values observed in database attributes that share a
+    type with the corresponding target attribute (types taken from a
+    language bias, e.g. the one AutoBias induced), so generated negatives
+    are type-correct rather than random noise the learner could dismiss for
+    trivial reasons. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+
+(* The observed value pool of a target attribute: union over database
+   attributes sharing a type with it; falls back to the values seen in the
+   positives when the bias gives the attribute no joinable peer. *)
+let domain_of bias db ~positives pos =
+  let target = Bias.Language.target bias in
+  let from_db =
+    List.fold_left
+      (fun acc rel ->
+        let name = Relational.Relation.name rel in
+        List.fold_left
+          (fun acc col ->
+            if
+              Bias.Language.share_type bias target.Schema.rel_name pos name col
+            then
+              List.fold_left
+                (fun acc v -> Value.Set.add v acc)
+                acc
+                (Relational.Relation.distinct_values rel col)
+            else acc)
+          acc
+          (List.init (Relational.Relation.arity rel) (fun i -> i)))
+      Value.Set.empty
+      (Relational.Database.relations db)
+  in
+  if Value.Set.is_empty from_db then
+    List.fold_left
+      (fun acc t -> Value.Set.add t.(pos) acc)
+      Value.Set.empty positives
+  else from_db
+
+(** [negatives ?max_attempts_factor bias db ~rng ~positives ~count] samples
+    [count] distinct type-correct target tuples that do not appear among
+    [positives]. May return fewer when the domain is too small (e.g. the
+    positives nearly cover the cross product). *)
+let negatives ?(max_attempts_factor = 50) bias db ~rng ~positives ~count =
+  let target = Bias.Language.target bias in
+  let arity = Schema.arity target in
+  let domains =
+    Array.init arity (fun pos ->
+        Array.of_list
+          (Value.Set.elements (domain_of bias db ~positives pos)))
+  in
+  if Array.exists (fun d -> Array.length d = 0) domains then []
+  else begin
+    let taken = Hashtbl.create (List.length positives * 2) in
+    List.iter (fun t -> Hashtbl.replace taken t ()) positives;
+    let out = ref [] in
+    let produced = ref 0 in
+    let attempts = ref 0 in
+    let max_attempts = (max_attempts_factor * count) + 100 in
+    while !produced < count && !attempts < max_attempts do
+      incr attempts;
+      let t =
+        Array.init arity (fun pos ->
+            let d = domains.(pos) in
+            d.(Random.State.int rng (Array.length d)))
+      in
+      if not (Hashtbl.mem taken t) then begin
+        Hashtbl.replace taken t ();
+        out := t :: !out;
+        incr produced
+      end
+    done;
+    List.rev !out
+  end

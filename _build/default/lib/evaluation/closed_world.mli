@@ -1,0 +1,17 @@
+(** Negative-example generation under the closed-world assumption: sample
+    type-correct target tuples (argument domains taken from database
+    attributes sharing a type with the target's attributes, per the given
+    bias) that are not listed as positives. For users who only have positive
+    examples. *)
+
+(** [negatives ?max_attempts_factor bias db ~rng ~positives ~count] samples
+    up to [count] distinct negatives; may return fewer when the typed cross
+    product is nearly covered by [positives]. Deterministic given [rng]. *)
+val negatives :
+  ?max_attempts_factor:int ->
+  Bias.Language.t ->
+  Relational.Database.t ->
+  rng:Random.State.t ->
+  positives:Relational.Relation.tuple list ->
+  count:int ->
+  Relational.Relation.tuple list

@@ -1,0 +1,1 @@
+lib/learning/armg.pp.ml: Array Coverage List Logic

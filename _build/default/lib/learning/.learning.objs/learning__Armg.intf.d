@@ -1,0 +1,1 @@
+lib/learning/armg.pp.mli: Coverage Logic Relational

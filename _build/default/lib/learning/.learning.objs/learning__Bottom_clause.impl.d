@@ -1,0 +1,1 @@
+lib/learning/bottom_clause.pp.ml: Array Bias Hashtbl List Logic Random Relational Sampling

@@ -1,0 +1,1 @@
+lib/learning/bottom_clause.pp.mli: Bias Logic Random Relational Sampling

@@ -1,0 +1,1 @@
+lib/learning/coverage.pp.ml: Array Bias Bottom_clause Hashtbl List Logic Random Relational

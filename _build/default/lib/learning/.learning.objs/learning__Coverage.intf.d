@@ -1,0 +1,1 @@
+lib/learning/coverage.pp.mli: Bias Bottom_clause Logic Random Relational

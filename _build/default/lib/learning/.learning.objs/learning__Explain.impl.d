@@ -1,0 +1,1 @@
+lib/learning/explain.pp.ml: Coverage Fmt List Logic

@@ -1,0 +1,1 @@
+lib/learning/explain.pp.mli: Coverage Format Logic Relational

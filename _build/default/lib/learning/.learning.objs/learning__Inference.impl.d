@@ -1,0 +1,1 @@
+lib/learning/inference.pp.ml: Array Hashtbl List Logic Query Relational

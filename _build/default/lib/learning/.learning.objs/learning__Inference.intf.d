@@ -1,0 +1,1 @@
+lib/learning/inference.pp.mli: Logic Relational

@@ -1,0 +1,1 @@
+lib/learning/learn.pp.ml: Armg Array Bottom_clause Coverage Hashtbl List Logic Logs Option Random Unix

@@ -1,0 +1,1 @@
+lib/learning/learn.pp.mli: Bottom_clause Coverage Logic Random Relational

@@ -1,0 +1,1 @@
+lib/learning/query.pp.ml: Array Coverage List Logic Relational

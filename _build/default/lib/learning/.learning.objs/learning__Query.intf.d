@@ -1,0 +1,1 @@
+lib/learning/query.pp.mli: Logic Relational

@@ -1,0 +1,220 @@
+(** Bottom-clause construction (Algorithm 2, guided by the language bias as
+    described in Section 2.3.1).
+
+    Given a positive example [e], the builder keeps a hash table from known
+    constants to clause variables and to the set of types the constants were
+    seen under. Each of the [d] iterations walks every mode definition: for a
+    mode of relation R with [+] on attribute A, every known constant whose
+    type set intersects types(R[A]) may feed the semi-join [M ⋊ R]; the
+    strategy from Section 4 picks at most [sample_size] of the matching
+    tuples, and each picked tuple becomes one literal per satisfying mode —
+    [+]/[-] positions become variables (fresh for new constants), [#]
+    positions stay constants. Newly seen constants at variable positions
+    join the table and drive the next iteration.
+
+    With [ground:true] the same tuple reachability is used but constants are
+    not replaced by variables: this produces the {e ground bottom clause} of
+    Section 5 that coverage testing subsumes against. *)
+
+module Value = Relational.Value
+module Relation = Relational.Relation
+module String_set = Bias.Util.String_set
+
+type config = {
+  depth : int;  (** iterations d of Algorithm 2 *)
+  sample_size : int;  (** tuples kept per mode per iteration (paper: 20) *)
+  strategy : Sampling.Strategy.t;
+  max_body_literals : int;
+      (** hard cap on the body size — an under-restricted bias (plain
+          Castor) can otherwise produce clauses beyond what subsumption can
+          ever process within budget *)
+}
+
+let default_config =
+  {
+    depth = 2;
+    sample_size = 20;
+    strategy = Sampling.Strategy.Naive;
+    max_body_literals = 1000;
+  }
+
+type state = {
+  bias : Bias.Language.t;
+  db : Relational.Database.t;
+  rng : Random.State.t;
+  cfg : config;
+  gen : Logic.Term.Var_gen.t;
+  var_of : int Value.Table.t;  (** constant -> variable id *)
+  types_of_const : String_set.t Value.Table.t;  (** constant -> seen types *)
+  mutable known : Value.Set.t;  (** all known constants *)
+  mutable round_known : Value.Set.t;
+      (** the constants known when the current round started — Algorithm 2's
+          M: constants found during a round only feed the {e next} round, so
+          mode processing order cannot dilute the sample away from the
+          example's own neighbourhood *)
+  literals : (Logic.Literal.t, unit) Hashtbl.t;  (** body, as a set *)
+  mutable order : Logic.Literal.t list;  (** body, in insertion order *)
+}
+
+let var_for st v =
+  match Value.Table.find_opt st.var_of v with
+  | Some id -> Logic.Term.Var id
+  | None ->
+      let t = Logic.Term.Var_gen.fresh st.gen in
+      (match t with
+      | Logic.Term.Var id -> Value.Table.replace st.var_of v id
+      | Logic.Term.Const _ -> assert false);
+      t
+
+let add_const_types st v types =
+  let existing =
+    match Value.Table.find_opt st.types_of_const v with
+    | Some s -> s
+    | None -> String_set.empty
+  in
+  Value.Table.replace st.types_of_const v (String_set.union existing types)
+
+let note_new_constant st v types =
+  add_const_types st v types;
+  if not (Value.Set.mem v st.known) then st.known <- Value.Set.add v st.known
+
+let add_literal st l =
+  if
+    Hashtbl.length st.literals < st.cfg.max_body_literals
+    && not (Hashtbl.mem st.literals l)
+  then begin
+    Hashtbl.replace st.literals l ();
+    st.order <- l :: st.order
+  end
+
+(* Known constants whose type set intersects [types] — the candidate feed of
+   a [+] attribute. *)
+let known_of_types st types =
+  Value.Set.filter
+    (fun v ->
+      match Value.Table.find_opt st.types_of_const v with
+      | None -> false
+      | Some s -> not (String_set.is_empty (String_set.inter s types)))
+    st.round_known
+
+(* One literal for [tuple] under [mode]; registers new constants. [ground]
+   keeps every position a constant. *)
+let literal_of_tuple st ~ground (mode : Bias.Mode.t) tuple =
+  let pred = mode.Bias.Mode.pred in
+  let args =
+    Array.mapi
+      (fun i v ->
+        let attr_types = Bias.Language.attribute_types st.bias pred i in
+        match mode.Bias.Mode.symbols.(i) with
+        | Bias.Mode.Constant -> Logic.Term.Const v
+        | Bias.Mode.Input | Bias.Mode.Output ->
+            note_new_constant st v attr_types;
+            if ground then Logic.Term.Const v else var_for st v)
+      tuple
+  in
+  Logic.Literal.make pred args
+
+(* All tuples a mode can contribute this round: the sampler fed from the
+   frontierless known set, then filtered so every [+] position holds a known
+   constant of a compatible type (relevant when a manual mode has several
+   [+] attributes). *)
+let tuples_for_mode st (mode : Bias.Mode.t) =
+  match Relational.Database.find_opt st.db mode.Bias.Mode.pred with
+  | None -> []
+  | Some rel -> (
+      match Bias.Mode.input_positions mode with
+      | [] -> []
+      | first_input :: other_inputs ->
+          let feed pos =
+            known_of_types st
+              (Bias.Language.attribute_types st.bias mode.Bias.Mode.pred pos)
+          in
+          let known = feed first_input in
+          if Value.Set.is_empty known then []
+          else begin
+            let constant_positions =
+              List.init (Relation.arity rel) (fun i -> i)
+              |> List.filter (fun i ->
+                     Bias.Language.constant_allowed st.bias mode.Bias.Mode.pred i)
+            in
+            let sampled =
+              Sampling.Strategy.sample st.cfg.strategy ~rng:st.rng ~rel
+                ~pos:first_input ~known ~size:st.cfg.sample_size
+                ~constant_positions
+            in
+            List.filter
+              (fun t ->
+                List.for_all
+                  (fun pos -> Value.Set.mem t.(pos) (feed pos))
+                  other_inputs)
+              sampled
+          end)
+
+(** [build ?config ?ground db bias ~rng ~example] constructs the bottom
+    clause of [example]. The head is the target literal with example
+    constants replaced by variables ([ground] only affects the body — the
+    head of a ground BC is matched against the example directly).
+    Raises [Invalid_argument] on an arity mismatch with the target. *)
+let build ?(config = default_config) ?(ground = false) db bias ~rng ~example =
+  let target = Bias.Language.target bias in
+  let target_name = target.Relational.Schema.rel_name in
+  if Array.length example <> Relational.Schema.arity target then
+    invalid_arg "Bottom_clause.build: example arity mismatch";
+  let st =
+    {
+      bias;
+      db;
+      rng;
+      cfg = config;
+      gen = Logic.Term.Var_gen.create ();
+      var_of = Value.Table.create 64;
+      types_of_const = Value.Table.create 64;
+      known = Value.Set.empty;
+      round_known = Value.Set.empty;
+      literals = Hashtbl.create 128;
+      order = [];
+    }
+  in
+  (* Head: example constants become variables, typed by the target's
+     predicate definitions. *)
+  let head_args =
+    Array.mapi
+      (fun i v ->
+        let types = Bias.Language.attribute_types bias target_name i in
+        note_new_constant st v types;
+        var_for st v)
+      example
+  in
+  let head = Logic.Literal.make target_name head_args in
+  (* Within a round, modes with more [#] symbols go first: their literals are
+     the most selective, and putting them early in the body keeps the
+     substitution frontier of prefix evaluation small and anchored — a
+     generic literal evaluated first would diffuse the shared variables over
+     the whole relation before the selective literal can pin them down. *)
+  let ordered_modes =
+    List.stable_sort
+      (fun a b ->
+        compare
+          (List.length (Bias.Mode.constant_positions b))
+          (List.length (Bias.Mode.constant_positions a)))
+      (Bias.Language.modes bias)
+  in
+  for _round = 1 to config.depth do
+    st.round_known <- st.known;
+    if not (Value.Set.is_empty st.round_known) then begin
+      List.iter
+        (fun mode ->
+          let tuples = tuples_for_mode st mode in
+          List.iter
+            (fun t -> add_literal st (literal_of_tuple st ~ground mode t))
+            tuples)
+        ordered_modes
+    end
+  done;
+  Logic.Clause.make head (List.rev st.order)
+
+(** [build_ground ?config db bias ~rng ~example] is the ground bottom clause
+    used by coverage testing (Section 5): same reachable tuples, body kept
+    ground. *)
+let build_ground ?config db bias ~rng ~example =
+  build ?config ~ground:true db bias ~rng ~example

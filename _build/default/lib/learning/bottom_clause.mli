@@ -1,0 +1,47 @@
+(** Bottom-clause construction (Algorithm 2, guided by the language bias of
+    Section 2.3.1).
+
+    Each of the [depth] iterations walks every mode definition: known
+    constants whose types match a mode's [+] attribute feed the semi-join
+    σ_(A ∈ M)(R); the sampling strategy picks at most [sample_size] matching
+    tuples; each picked tuple becomes one literal per satisfying mode —
+    [+]/[-] positions become variables (fresh for new constants), [#]
+    positions stay constants. New constants found during a round only feed
+    the {e next} round, and within a round modes with more [#] symbols are
+    processed first (selective literals early keep prefix evaluation
+    anchored). *)
+
+type config = {
+  depth : int;  (** iterations d of Algorithm 2 *)
+  sample_size : int;  (** tuples kept per mode per iteration (paper: 20) *)
+  strategy : Sampling.Strategy.t;
+  max_body_literals : int;
+      (** hard cap on the body size — an under-restricted bias (plain
+          Castor) can otherwise produce clauses beyond what subsumption can
+          process within budget *)
+}
+
+val default_config : config
+
+(** [build ?config ?ground db bias ~rng ~example] constructs the bottom
+    clause of [example]: head = target literal with example constants
+    replaced by variables; body as above. With [ground:true] body constants
+    are kept (the ground bottom clause of Section 5).
+    @raise Invalid_argument on an example/target arity mismatch. *)
+val build :
+  ?config:config ->
+  ?ground:bool ->
+  Relational.Database.t ->
+  Bias.Language.t ->
+  rng:Random.State.t ->
+  example:Relational.Relation.tuple ->
+  Logic.Clause.t
+
+(** [build_ground ?config db bias ~rng ~example] = [build ~ground:true]. *)
+val build_ground :
+  ?config:config ->
+  Relational.Database.t ->
+  Bias.Language.t ->
+  rng:Random.State.t ->
+  example:Relational.Relation.tuple ->
+  Logic.Clause.t

@@ -1,0 +1,110 @@
+(** Coverage testing via θ-subsumption against ground bottom clauses
+    (Section 5).
+
+    A clause [C] covers example [e] iff, after binding [C]'s head variables
+    to [e]'s constants, the body of [C] θ-subsumes the ground bottom clause
+    of [e]. Ground BCs are built once per example — with the same sampling
+    strategy used for bottom clauses, as the paper prescribes — and cached
+    here for the many coverage tests generalization performs. *)
+
+module Value = Relational.Value
+
+type t = {
+  db : Relational.Database.t;
+  bias : Bias.Language.t;
+  bc_config : Bottom_clause.config;
+  sub_config : Logic.Subsumption.config;
+  rng : Random.State.t;
+  grounds : (Relational.Relation.tuple, Logic.Subsumption.ground) Hashtbl.t;
+}
+
+let create ?(sub_config = Logic.Subsumption.default_config)
+    ?(bc_config = Bottom_clause.default_config) db bias ~rng =
+  { db; bias; bc_config; sub_config; rng; grounds = Hashtbl.create 256 }
+
+let bias t = t.bias
+let database t = t.db
+
+(** [ground_of t example] is the cached ground bottom clause of [example]. *)
+let ground_of t example =
+  match Hashtbl.find_opt t.grounds example with
+  | Some g -> g
+  | None ->
+      let clause =
+        Bottom_clause.build_ground ~config:t.bc_config t.db t.bias ~rng:t.rng
+          ~example
+      in
+      let g = Logic.Subsumption.ground_of_literals (Logic.Clause.body clause) in
+      Hashtbl.replace t.grounds example g;
+      g
+
+(** [warm t examples] precomputes ground BCs for [examples] (the paper builds
+    them once, up front). *)
+let warm t examples = List.iter (fun e -> ignore (ground_of t e)) examples
+
+(** [head_subst clause example] binds the head of [clause] to [example]:
+    variables map to the example's constants; constant head arguments must
+    match. [None] when the head cannot produce the example. *)
+let head_subst clause (example : Relational.Relation.tuple) =
+  let head = Logic.Clause.head clause in
+  let args = Logic.Literal.args head in
+  if Array.length args <> Array.length example then None
+  else begin
+    let rec go i subst =
+      if i >= Array.length args then Some subst
+      else
+        match args.(i) with
+        | Logic.Term.Const c ->
+            if Value.equal c example.(i) then go (i + 1) subst else None
+        | Logic.Term.Var v -> (
+            match Logic.Substitution.extend subst v example.(i) with
+            | Some subst -> go (i + 1) subst
+            | None -> None)
+    in
+    go 0 Logic.Substitution.empty
+  end
+
+(** [eval t clause example] evaluates [clause] against [example] with the
+    substitution-set prefix evaluator: [Covered w] with a witness, or
+    [Blocked i] with the 1-based index of the blocking body literal — the
+    primitive ARMG needs (Section 2.3.2). [Blocked 0] means the head itself
+    cannot be bound to the example. *)
+let eval t clause example =
+  match head_subst clause example with
+  | None -> Logic.Subsumption.Blocked 0
+  | Some subst ->
+      let g = ground_of t example in
+      Logic.Subsumption.eval_prefix ~subst clause g
+
+(** [covers t clause example] tests whether [clause] covers [example]. *)
+let covers t clause example =
+  match eval t clause example with
+  | Logic.Subsumption.Covered _ -> true
+  | Logic.Subsumption.Blocked _ -> false
+
+(** [covers_prefix t clause k example] is [covers] restricted to the first
+    [k] body literals. *)
+let covers_prefix t clause k example =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  let prefix =
+    Logic.Clause.make (Logic.Clause.head clause)
+      (take k (Logic.Clause.body clause))
+  in
+  covers t prefix example
+
+(** [covered t clause examples] is the sublist of [examples] covered by
+    [clause]. *)
+let covered t clause examples = List.filter (covers t clause) examples
+
+(** [count t clause examples] is [List.length (covered t clause examples)]. *)
+let count t clause examples =
+  List.fold_left (fun acc e -> if covers t clause e then acc + 1 else acc) 0 examples
+
+(** [definition_covers t def example] holds iff some clause of [def] covers
+    [example] (Horn-definition coverage, Definition 2.4). *)
+let definition_covers t def example =
+  List.exists (fun c -> covers t c example) def

@@ -1,0 +1,55 @@
+(** Coverage testing via θ-subsumption against cached ground bottom clauses
+    (Section 5): clause [C] covers example [e] iff, after binding [C]'s head
+    to [e]'s constants, body(C) θ-subsumes the ground BC of [e]. Ground BCs
+    are built once per example with the same sampling strategy used for
+    bottom clauses and cached in the context. *)
+
+type t
+
+val create :
+  ?sub_config:Logic.Subsumption.config ->
+  ?bc_config:Bottom_clause.config ->
+  Relational.Database.t ->
+  Bias.Language.t ->
+  rng:Random.State.t ->
+  t
+
+val bias : t -> Bias.Language.t
+val database : t -> Relational.Database.t
+
+(** [ground_of t example] — the cached ground bottom clause of [example]. *)
+val ground_of : t -> Relational.Relation.tuple -> Logic.Subsumption.ground
+
+(** [warm t examples] precomputes ground BCs (the paper builds them once, up
+    front). *)
+val warm : t -> Relational.Relation.tuple list -> unit
+
+(** [head_subst clause example] binds the clause head to the example:
+    variables map to constants, constant head arguments must match; [None]
+    when the head cannot produce the example. *)
+val head_subst :
+  Logic.Clause.t -> Relational.Relation.tuple -> Logic.Substitution.t option
+
+(** [eval t clause example] — [Covered w] with a witness, or [Blocked i]
+    with the 1-based blocking body literal; [Blocked 0] means the head
+    itself cannot bind. *)
+val eval :
+  t -> Logic.Clause.t -> Relational.Relation.tuple -> Logic.Subsumption.verdict
+
+val covers : t -> Logic.Clause.t -> Relational.Relation.tuple -> bool
+
+(** [covers_prefix t clause k example] — [covers] restricted to the first
+    [k] body literals. *)
+val covers_prefix : t -> Logic.Clause.t -> int -> Relational.Relation.tuple -> bool
+
+(** [covered t clause examples] — the covered sublist. *)
+val covered :
+  t -> Logic.Clause.t -> Relational.Relation.tuple list -> Relational.Relation.tuple list
+
+(** [count t clause examples] — how many are covered. *)
+val count : t -> Logic.Clause.t -> Relational.Relation.tuple list -> int
+
+(** [definition_covers t def example] — disjunction over clauses
+    (Definition 2.4). *)
+val definition_covers :
+  t -> Logic.Clause.definition -> Relational.Relation.tuple -> bool

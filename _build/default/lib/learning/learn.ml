@@ -1,0 +1,421 @@
+(** The sequential-covering learner (Algorithm 1) with beam-search
+    generalization over ARMG (Section 2.3.2).
+
+    [learn_clause] builds the bottom clause of a seed positive example, then
+    runs a beam search: each step generalizes every beam clause against a
+    random subset of the still-uncovered positive examples with ARMG, scores
+    candidates by (positives covered − negatives covered), and keeps the best
+    [beam_width]. Candidate scoring runs against bounded random subsamples of
+    the training examples ([eval_positives]/[eval_negatives]) — coverage
+    testing is the dominant cost (Section 5) and ranking only needs relative
+    scores; the {e accept/reject} decision for a finished clause always uses
+    the full training set. The winning clause then goes through
+    negative-based reduction (as in Golem/Castor): body literals whose
+    removal does not let any more training negatives in are dropped, which
+    strips the always-satisfiable by-catch a bottom clause carries.
+
+    [learn] wraps this in the covering loop: accepted clauses must meet the
+    minimum criterion (enough positives, high-enough training precision);
+    their covered positives are removed; seeds whose best clause fails the
+    criterion are set aside so learning always progresses.
+
+    A wall-clock budget bounds the whole run; on expiry the definition
+    learned so far is returned with [timed_out = true], mirroring the paper's
+    ">10h" rows. *)
+
+type config = {
+  bc : Bottom_clause.config;  (** bottom-clause depth/sample/strategy *)
+  subsumption : Logic.Subsumption.config;
+  beam_width : int;
+  generalization_sample : int;
+      (** positives sampled per beam step to drive ARMG (the paper's E+_S) *)
+  max_beam_steps : int;
+  eval_positives : int;  (** positives subsampled for candidate ranking *)
+  eval_negatives : int;  (** negatives subsampled for candidate ranking *)
+  min_positives : int;  (** minimum criterion: positives a clause must cover *)
+  min_precision : float;  (** minimum criterion: training precision *)
+  max_clauses : int;
+  clause_timeout : float option;
+      (** wall-clock budget for a single clause search (one seed's beam) —
+          keeps one hard seed from eating the whole run's budget *)
+  max_consecutive_skips : int;
+      (** once at least one clause has been accepted, stop after this many
+          seeds in a row yield no further acceptable clause — the remaining
+          uncovered positives are almost surely label noise. Before the
+          first acceptance every seed is tried (the timeout still bounds
+          the run). *)
+  timeout : float option;  (** seconds of wall clock for the whole run *)
+}
+
+let default_config =
+  {
+    bc = Bottom_clause.default_config;
+    subsumption = Logic.Subsumption.default_config;
+    beam_width = 3;
+    generalization_sample = 8;
+    max_beam_steps = 8;
+    eval_positives = 20;
+    eval_negatives = 30;
+    min_positives = 2;
+    min_precision = 0.7;
+    max_clauses = 20;
+    clause_timeout = Some 10.;
+    max_consecutive_skips = 8;
+    timeout = Some 600.;
+  }
+
+type stats = {
+  clauses : int;
+  candidates_evaluated : int;
+  seeds_skipped : int;
+  elapsed : float;
+  timed_out : bool;
+}
+
+type result = {
+  definition : Logic.Clause.definition;
+  stats : stats;
+}
+
+exception Timed_out
+
+type scored = {
+  clause : Logic.Clause.t;
+  pos_covered : int;  (** on the positive ranking sample *)
+  neg_covered : int;  (** on the negative ranking sample *)
+  score : float;
+      (** rate-corrected (Horvitz–Thompson) estimate of the full-training
+          (positives − negatives) count: subsampling positives and negatives
+          at different rates would otherwise bias ranking toward clauses
+          that sneak past the thin negative sample *)
+}
+
+let clause_key c = Logic.Clause.to_string c
+
+(* Uniform sample without replacement of at most [n] elements. *)
+let sample_list rng n l =
+  let arr = Array.of_list l in
+  let len = Array.length arr in
+  if len <= n then l
+  else begin
+    for i = len - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list (Array.sub arr 0 n)
+  end
+
+(* Beam ordering: higher score first, smaller clause on ties — a tie that
+   shrinks the clause is progress. *)
+let better a b =
+  a.score > b.score
+  || (a.score = b.score && Logic.Clause.size a.clause < Logic.Clause.size b.clause)
+
+(* Inclusion rate of a subsample; 1. when nothing was dropped. *)
+let rate sample full =
+  let s = List.length sample and f = List.length full in
+  if f = 0 then 1. else float_of_int s /. float_of_int f
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* Score-based reduction (in the spirit of Golem's negative-based
+   reduction): drop a body literal when the clause's sampled, rate-corrected
+   score (positives − negatives covered) does not decrease. Removal only
+   generalizes, so positive coverage can only grow; a literal survives only
+   if it excludes more (weighted) negatives than the positives it blocks. *)
+let reduce ~cov ~check_deadline ~pos_weight ~neg_weight clause eval_pos eval_neg =
+  let score c =
+    (pos_weight *. float_of_int (Coverage.count cov c eval_pos))
+    -. (neg_weight *. float_of_int (Coverage.count cov c eval_neg))
+  in
+  let head = Logic.Clause.head clause in
+  (* One backward pass over the original literals (by-catch accumulates
+     toward the end of a bottom clause). Pruning may remove further literals
+     that lost their head connection — those are skipped when their turn
+     comes. *)
+  let current = ref (Logic.Clause.body clause) in
+  let current_score = ref (score clause) in
+  List.iter
+    (fun lit ->
+      if List.memq lit !current then begin
+        check_deadline ();
+        let candidate_body = List.filter (fun l -> not (l == lit)) !current in
+        let candidate =
+          Logic.Clause.prune_head_connected
+            (Logic.Clause.make head candidate_body)
+        in
+        let candidate_score = score candidate in
+        if candidate_score >= !current_score then begin
+          current := Logic.Clause.body candidate;
+          current_score := candidate_score
+        end
+      end)
+    (List.rev (Logic.Clause.body clause));
+  Logic.Clause.make head !current
+
+let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
+    ~negatives ~seed =
+  let check_deadline () =
+    match deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Timed_out
+    | _ -> ()
+  in
+  (* Fixed ranking subsamples for this clause search: relative scores stay
+     comparable across candidates. The seed always participates. *)
+  let eval_pos =
+    seed :: sample_list rng config.eval_positives (List.filter (fun e -> e != seed) uncovered)
+    |> take config.eval_positives
+  in
+  let eval_neg = sample_list rng config.eval_negatives negatives in
+  let pos_weight = 1. /. rate eval_pos uncovered in
+  let neg_weight = 1. /. rate eval_neg negatives in
+  (* Staged scoring. Stage 1: a handful of positives — candidates that are
+     still too specific to cover even two of them need no further testing
+     (their score cannot enter the beam's top on merit; they survive only
+     through the smaller-is-better tie-break, which is exactly what lets
+     them keep shrinking). Stage 2: the full ranking samples; negative
+     counting aborts once the score cannot stay positive. *)
+  let probe_pos, rest_pos =
+    let rec split n = function
+      | [] -> ([], [])
+      | l when n = 0 -> ([], l)
+      | x :: tl ->
+          let a, b = split (n - 1) tl in
+          (x :: a, b)
+    in
+    split 6 eval_pos
+  in
+  let evaluate clause =
+    check_deadline ();
+    incr candidates_evaluated;
+    let p_probe = Coverage.count cov clause probe_pos in
+    if p_probe < 2 then
+      { clause; pos_covered = p_probe; neg_covered = 0;
+        score = pos_weight *. float_of_int p_probe }
+    else begin
+      let pos_covered = p_probe + Coverage.count cov clause rest_pos in
+      (* abort negative counting once the weighted score goes negative *)
+      let weighted_pos = pos_weight *. float_of_int pos_covered in
+      let neg_covered = ref 0 in
+      (try
+         List.iter
+           (fun e ->
+             if Coverage.covers cov clause e then begin
+               incr neg_covered;
+               if neg_weight *. float_of_int !neg_covered > weighted_pos then
+                 raise Exit
+             end)
+           eval_neg
+       with Exit -> ());
+      let neg_covered = !neg_covered in
+      {
+        clause;
+        pos_covered;
+        neg_covered;
+        score = weighted_pos -. (neg_weight *. float_of_int neg_covered);
+      }
+    end
+  in
+  let bottom =
+    Bottom_clause.build ~config:config.bc (Coverage.database cov)
+      (Coverage.bias cov) ~rng ~example:seed
+  in
+  (* The raw bottom clause is maximally specific: by construction it covers
+     (about) its own seed and nothing else; a full evaluation of a clause
+     with hundreds of literals would only burn the subsumption budget. *)
+  let beam =
+    ref [ { clause = bottom; pos_covered = 1; neg_covered = 0; score = pos_weight } ]
+  in
+  let best = ref (List.hd !beam) in
+  let continue = ref true in
+  let steps = ref 0 in
+  let clause_deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) config.clause_timeout
+  in
+  let clause_time_left () =
+    match clause_deadline with
+    | Some d -> Unix.gettimeofday () < d
+    | None -> true
+  in
+  while !continue && !steps < config.max_beam_steps && clause_time_left () do
+    incr steps;
+    check_deadline ();
+    let targets = sample_list rng config.generalization_sample uncovered in
+    let seen = Hashtbl.create 16 in
+    List.iter (fun s -> Hashtbl.replace seen (clause_key s.clause) ()) !beam;
+    let candidates = ref [] in
+    (* Pair the targets and chain ARMG through both (as in ProGolem's
+       iterated armg): coverage evaluation dominates the cost, so fewer,
+       more-general candidates beat many one-step ones — especially when
+       the bias floods bottom clauses with generic by-catch. *)
+    let rec pairs = function
+      | a :: b :: tl -> (a, Some b) :: pairs tl
+      | [ a ] -> [ (a, None) ]
+      | [] -> []
+    in
+    List.iter
+      (fun entry ->
+        List.iter
+          (fun (ea, eb) ->
+            check_deadline ();
+            let chained =
+              match Armg.generalize cov entry.clause ~example:ea with
+              | None -> None
+              | Some c -> (
+                  match eb with
+                  | None -> Some c
+                  | Some eb -> (
+                      match Armg.generalize cov c ~example:eb with
+                      | None -> Some c
+                      | Some c2 -> Some c2))
+            in
+            match chained with
+            | None -> ()
+            | Some clause ->
+                let key = clause_key clause in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.replace seen key ();
+                  candidates := evaluate clause :: !candidates
+                end)
+          (pairs targets))
+      !beam;
+    let pool = !candidates @ !beam in
+    let sorted = List.sort (fun a b -> if better a b then -1 else 1) pool in
+    let min_size_before =
+      List.fold_left (fun acc s -> min acc (Logic.Clause.size s.clause)) max_int !beam
+    in
+    beam := take config.beam_width sorted;
+    let new_best = List.hd !beam in
+    let score_improved = better new_best !best in
+    if score_improved then best := new_best;
+    (* Keep iterating while the search still makes progress of either kind:
+       a better score, or a strictly smaller clause in the beam — ARMG
+       chains shrink clauses toward generality for several steps before
+       coverage (and hence the score) moves, and stopping at the first score
+       plateau strands over-specific clauses. When both stall (or no fresh
+       candidates appeared), the seed has converged. *)
+    let min_size_after =
+      List.fold_left (fun acc s -> min acc (Logic.Clause.size s.clause)) max_int !beam
+    in
+    if !candidates = [] || ((not score_improved) && min_size_after >= min_size_before)
+    then continue := false
+  done;
+  (* If the raw bottom clause survived as the winner, give it a real
+     evaluation: its placeholder score assumed it covers only its seed, but
+     on small example sets a bottom clause can legitimately cover several
+     positives. Failing evaluations die on the first blocked literal, so
+     this is cheap for genuinely hopeless seeds. *)
+  if !best.clause == bottom then best := evaluate bottom;
+  (* Reduce the winner, then re-score it on the ranking samples so callers
+     see consistent numbers; acceptance re-checks on the full sets anyway.
+     Winners that already fail the minimum criterion on the ranking sample
+     (rate-corrected, so the thin negative sample does not flatter them)
+     are returned as-is — they will be rejected, reduction would be wasted
+     work. *)
+  let sample_precision s =
+    let wp = pos_weight *. float_of_int s.pos_covered in
+    let wn = neg_weight *. float_of_int s.neg_covered in
+    if wp +. wn = 0. then 0. else wp /. (wp +. wn)
+  in
+  let final =
+    if
+      !best.pos_covered < config.min_positives
+      || sample_precision !best < config.min_precision
+    then !best
+    else begin
+      let reduced =
+        reduce ~cov ~check_deadline ~pos_weight ~neg_weight !best.clause
+          eval_pos eval_neg
+      in
+      if Logic.Clause.equal reduced !best.clause then !best else evaluate reduced
+    end
+  in
+  (final, sample_precision final)
+
+let meets_criterion ~config ~pos_covered ~neg_covered =
+  pos_covered >= config.min_positives
+  &&
+  let covered = pos_covered + neg_covered in
+  covered > 0
+  && float_of_int pos_covered /. float_of_int covered >= config.min_precision
+
+(** [learn ?config cov ~rng ~positives ~negatives] runs Algorithm 1 and
+    returns the learned Horn definition with run statistics. *)
+let learn ?(config = default_config) cov ~rng ~positives ~negatives =
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) config.timeout in
+  let candidates_evaluated = ref 0 in
+  let definition = ref [] in
+  let seeds_skipped = ref 0 in
+  let uncovered = ref positives in
+  let timed_out = ref false in
+  let consecutive_skips = ref 0 in
+  (try
+     while
+       !uncovered <> []
+       && List.length !definition < config.max_clauses
+       && (!definition = [] || !consecutive_skips < config.max_consecutive_skips)
+     do
+       match !uncovered with
+       | [] -> assert false
+       | seed :: _ ->
+           let best, sample_precision =
+             learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated
+               ~uncovered:!uncovered ~negatives ~seed
+           in
+           (* Acceptance uses the full training set, not the ranking
+              subsample; clauses that already failed on the (rate-corrected)
+              sample are rejected without the full pass. *)
+           let sample_ok =
+             best.pos_covered >= config.min_positives
+             && sample_precision >= config.min_precision
+           in
+           let pos_covered =
+             if sample_ok then Coverage.count cov best.clause !uncovered else 0
+           in
+           let neg_covered =
+             if sample_ok then Coverage.count cov best.clause negatives else 0
+           in
+           if sample_ok && meets_criterion ~config ~pos_covered ~neg_covered
+           then begin
+             Logs.debug (fun m ->
+                 m "accepted clause (p=%d n=%d): %s" pos_covered neg_covered
+                   (Logic.Clause.to_string best.clause));
+             consecutive_skips := 0;
+             definition := best.clause :: !definition;
+             uncovered :=
+               List.filter
+                 (fun e -> not (Coverage.covers cov best.clause e))
+                 !uncovered;
+             (* The seed itself may evade its own clause after
+                generalization; drop it to guarantee progress. *)
+             uncovered := List.filter (fun e -> e != seed) !uncovered
+           end
+           else begin
+             Logs.debug (fun m ->
+                 m "seed yielded no acceptable clause (best p=%d n=%d, %d lits)"
+                   best.pos_covered best.neg_covered
+                   (Logic.Clause.size best.clause));
+             incr seeds_skipped;
+             incr consecutive_skips;
+             uncovered := List.filter (fun e -> e != seed) !uncovered
+           end
+     done
+   with Timed_out -> timed_out := true);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  {
+    definition = List.rev !definition;
+    stats =
+      {
+        clauses = List.length !definition;
+        candidates_evaluated = !candidates_evaluated;
+        seeds_skipped = !seeds_skipped;
+        elapsed;
+        timed_out = !timed_out;
+      };
+  }

@@ -1,0 +1,51 @@
+(** The sequential-covering learner (Algorithm 1) with beam-search
+    generalization over ARMG (Section 2.3.2), candidate ranking on bounded
+    example subsamples, score-based reduction of the winning clause (in the
+    spirit of Golem's negative-based reduction), and a wall-clock budget
+    that returns partial definitions with [timed_out = true] — mirroring the
+    paper's ">10h" rows. *)
+
+type config = {
+  bc : Bottom_clause.config;
+  subsumption : Logic.Subsumption.config;
+  beam_width : int;
+  generalization_sample : int;
+      (** positives sampled per beam step to drive ARMG (the paper's E+_S) *)
+  max_beam_steps : int;
+  eval_positives : int;  (** positives subsampled for candidate ranking *)
+  eval_negatives : int;  (** negatives subsampled for candidate ranking *)
+  min_positives : int;  (** minimum criterion: positives a clause must cover *)
+  min_precision : float;  (** minimum criterion: training precision *)
+  max_clauses : int;
+  clause_timeout : float option;
+      (** wall-clock budget for a single clause search (one seed's beam) *)
+  max_consecutive_skips : int;
+      (** once a clause has been accepted, stop after this many consecutive
+          unproductive seeds (pre-acceptance, all seeds are tried) *)
+  timeout : float option;  (** wall-clock seconds for the whole run *)
+}
+
+val default_config : config
+
+type stats = {
+  clauses : int;
+  candidates_evaluated : int;
+  seeds_skipped : int;  (** positives whose best clause failed the criterion *)
+  elapsed : float;
+  timed_out : bool;
+}
+
+type result = {
+  definition : Logic.Clause.definition;
+  stats : stats;
+}
+
+(** [learn ?config cov ~rng ~positives ~negatives] runs Algorithm 1.
+    Clause acceptance is always checked on the full training sets. *)
+val learn :
+  ?config:config ->
+  Coverage.t ->
+  rng:Random.State.t ->
+  positives:Relational.Relation.tuple list ->
+  negatives:Relational.Relation.tuple list ->
+  result

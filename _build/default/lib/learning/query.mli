@@ -1,0 +1,49 @@
+(** Coverage testing as query execution — the Select-Project-Join
+    alternative Section 5 rejects, implemented for the comparison: the
+    clause body runs as a conjunctive query over the {e full} database with
+    index-backed, fail-first backtracking and a node budget (exhaustion
+    counts as non-coverage, the same under-approximation direction as the
+    subsumption engine). *)
+
+exception Budget_exhausted
+
+type config = { node_budget : int }
+
+val default_config : config
+
+(** [candidates db subst lit] — substitutions extending [subst] that map
+    [lit] onto a database tuple (index-probed on the most selective bound
+    column). Exposed for {!Inference}. *)
+val candidates :
+  Relational.Database.t ->
+  Logic.Substitution.t ->
+  Logic.Literal.t ->
+  Logic.Substitution.t list
+
+(** [estimate db subst lit] — cheap candidate-count estimate used for
+    literal ordering. *)
+val estimate : Relational.Database.t -> Logic.Substitution.t -> Logic.Literal.t -> int
+
+(** [satisfiable ?config db ~subst body] decides the conjunctive query,
+    returning a witness.
+    @raise Budget_exhausted when the node budget runs out. *)
+val satisfiable :
+  ?config:config ->
+  Relational.Database.t ->
+  subst:Logic.Substitution.t ->
+  Logic.Literal.t list ->
+  Logic.Substitution.t option
+
+(** [covers ?config db clause example] — head bound to [example], body run
+    as a query; a blown budget counts as non-coverage. *)
+val covers :
+  ?config:config -> Relational.Database.t -> Logic.Clause.t ->
+  Relational.Relation.tuple -> bool
+
+val definition_covers :
+  ?config:config -> Relational.Database.t -> Logic.Clause.definition ->
+  Relational.Relation.tuple -> bool
+
+val count :
+  ?config:config -> Relational.Database.t -> Logic.Clause.t ->
+  Relational.Relation.tuple list -> int

@@ -1,0 +1,1 @@
+lib/logic/clause.pp.ml: Fmt Hashtbl List Literal Ppx_deriving_runtime String Substitution

@@ -1,0 +1,1 @@
+lib/logic/clause.pp.mli: Format Hashtbl Literal Substitution

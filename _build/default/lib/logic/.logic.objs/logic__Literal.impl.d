@@ -1,0 +1,1 @@
+lib/logic/literal.pp.ml: Array Fmt Hashtbl List Ppx_deriving_runtime Relational String Term

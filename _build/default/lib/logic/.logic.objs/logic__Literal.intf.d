@@ -1,0 +1,1 @@
+lib/logic/literal.pp.mli: Format Hashtbl Relational Term

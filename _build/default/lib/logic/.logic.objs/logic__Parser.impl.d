@@ -1,0 +1,1 @@
+lib/logic/parser.pp.ml: Array Clause Hashtbl List Literal Printf Relational String Term

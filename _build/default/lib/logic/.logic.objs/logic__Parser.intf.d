@@ -1,0 +1,1 @@
+lib/logic/parser.pp.mli: Clause Literal

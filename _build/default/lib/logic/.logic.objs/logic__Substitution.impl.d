@@ -1,0 +1,1 @@
+lib/logic/substitution.pp.ml: Array Fmt Int Literal Map Relational String Term

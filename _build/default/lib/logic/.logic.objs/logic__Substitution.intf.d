@@ -1,0 +1,1 @@
+lib/logic/substitution.pp.mli: Format Literal Relational Term

@@ -1,0 +1,1 @@
+lib/logic/subsumption.pp.ml: Array Clause Hashtbl List Literal Random Relational Substitution Term

@@ -1,0 +1,1 @@
+lib/logic/subsumption.pp.mli: Clause Literal Random Substitution

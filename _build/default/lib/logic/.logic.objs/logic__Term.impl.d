@@ -1,0 +1,1 @@
+lib/logic/term.pp.ml: Array Fmt Ppx_deriving_runtime Relational

@@ -1,0 +1,1 @@
+lib/logic/term.pp.mli: Format Relational

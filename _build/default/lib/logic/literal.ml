@@ -1,0 +1,64 @@
+(** Literals (atoms): a relation symbol applied to terms.
+
+    The learner only manipulates positive literals — learned definitions are
+    non-recursive Datalog without negation, as in the paper (Section 2.1). *)
+
+type t = {
+  pred : string;  (** relation symbol *)
+  args : Term.t array;
+}
+[@@deriving eq, ord]
+
+let make pred args = { pred; args }
+let arity l = Array.length l.args
+let pred l = l.pred
+let args l = l.args
+
+(** [vars l] lists the distinct variable ids of [l], in first-occurrence
+    order. *)
+let vars l =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  Array.iter
+    (function
+      | Term.Var i when not (Hashtbl.mem seen i) ->
+          Hashtbl.add seen i ();
+          out := i :: !out
+      | Term.Var _ | Term.Const _ -> ())
+    l.args;
+  List.rev !out
+
+(** [constants l] lists the constant values of [l] in position order
+    (duplicates kept). *)
+let constants l =
+  Array.to_list l.args
+  |> List.filter_map (function Term.Const v -> Some v | Term.Var _ -> None)
+
+let is_ground l = Array.for_all Term.is_const l.args
+
+(** [shares_var l vars] holds iff some argument of [l] is a variable in the
+    id set [vars]; used for head-connectivity checks. *)
+let shares_var l var_set =
+  Array.exists
+    (function Term.Var i -> Hashtbl.mem var_set i | Term.Const _ -> false)
+    l.args
+
+let to_string l =
+  l.pred ^ "("
+  ^ String.concat "," (Array.to_list (Array.map Term.to_string l.args))
+  ^ ")"
+
+let pp ppf l = Fmt.string ppf (to_string l)
+
+(** [of_tuple pred tuple] turns a database tuple into a ground literal. *)
+let of_tuple pred (t : Relational.Relation.tuple) =
+  { pred; args = Array.map (fun v -> Term.Const v) t }
+
+(** [to_tuple l] is the inverse of [of_tuple] for ground literals.
+    Raises [Invalid_argument] when [l] has variables. *)
+let to_tuple l =
+  Array.map
+    (function
+      | Term.Const v -> v
+      | Term.Var _ -> invalid_arg "Literal.to_tuple: non-ground literal")
+    l.args

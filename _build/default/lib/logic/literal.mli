@@ -1,0 +1,36 @@
+(** Literals (atoms): a relation symbol applied to terms. The learner only
+    manipulates positive literals — learned definitions are non-recursive
+    Datalog without negation (Section 2.1). *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val make : string -> Term.t array -> t
+val arity : t -> int
+val pred : t -> string
+val args : t -> Term.t array
+
+(** [vars l] lists the distinct variable ids of [l], first occurrence
+    first. *)
+val vars : t -> int list
+
+(** [constants l] lists the constant values of [l] in position order
+    (duplicates kept). *)
+val constants : t -> Relational.Value.t list
+
+val is_ground : t -> bool
+
+(** [shares_var l set] holds iff some argument of [l] is a variable whose id
+    is a key of [set]; used for head-connectivity checks. *)
+val shares_var : t -> (int, unit) Hashtbl.t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [of_tuple pred tuple] turns a database tuple into a ground literal. *)
+val of_tuple : string -> Relational.Relation.tuple -> t
+
+(** [to_tuple l] inverts [of_tuple].
+    @raise Invalid_argument when [l] has variables. *)
+val to_tuple : t -> Relational.Relation.tuple

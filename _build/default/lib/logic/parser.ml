@@ -1,0 +1,162 @@
+(** A small parser for clauses and literals in Datalog syntax.
+
+    Grammar (whitespace-insensitive):
+
+    {v
+      clause  ::= literal [ ":-" literal { "," literal } ] [ "." ]
+      literal ::= ident "(" term { "," term } ")"
+      term    ::= VARIABLE | IDENT | INTEGER | 'quoted constant'
+    v}
+
+    Identifiers starting with an uppercase letter or ['_'] are variables
+    (Prolog convention); everything else is a constant. Quoted constants
+    (['drama'] or ["drama"]) allow leading capitals and special characters.
+    Variables are interned left to right, so re-parsing a printed clause gives
+    an alpha-equivalent clause. *)
+
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Turnstile
+  | Dot
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !i)) in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (toks := Lparen :: !toks; incr i)
+    else if c = ')' then (toks := Rparen :: !toks; incr i)
+    else if c = ',' then (toks := Comma :: !toks; incr i)
+    else if c = '.' then (toks := Dot :: !toks; incr i)
+    else if c = ':' then
+      if !i + 1 < n && s.[!i + 1] = '-' then (toks := Turnstile :: !toks; i := !i + 2)
+      else fail "expected ':-'"
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> quote do incr j done;
+      if !j >= n then fail "unterminated quote";
+      toks := Quoted (String.sub s (!i + 1) (!j - !i - 1)) :: !toks;
+      i := !j + 1
+    end
+    else begin
+      let is_ident_char c =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = '-'
+      in
+      if not (is_ident_char c) then fail (Printf.sprintf "unexpected '%c'" c);
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      toks := Ident (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+  done;
+  List.rev !toks
+
+let is_variable_name name =
+  String.length name > 0
+  && (name.[0] = '_' || (name.[0] >= 'A' && name.[0] <= 'Z'))
+
+type state = {
+  mutable toks : token list;
+  vars : (string, int) Hashtbl.t;
+  gen : Term.Var_gen.t;
+}
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.toks with
+  | [] -> raise (Parse_error "unexpected end of input")
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st tok what =
+  if next st <> tok then raise (Parse_error ("expected " ^ what))
+
+let parse_term st =
+  match next st with
+  | Quoted s -> Term.Const (Relational.Value.of_string s)
+  | Ident name ->
+      if is_variable_name name then begin
+        match Hashtbl.find_opt st.vars name with
+        | Some id -> Term.Var id
+        | None ->
+            let v = Term.Var_gen.fresh st.gen in
+            (match v with
+            | Term.Var id -> Hashtbl.replace st.vars name id
+            | Term.Const _ -> assert false);
+            v
+      end
+      else Term.Const (Relational.Value.of_string name)
+  | _ -> raise (Parse_error "expected a term")
+
+let parse_literal st =
+  match next st with
+  | Ident pred when not (is_variable_name pred) ->
+      expect st Lparen "'('";
+      let rec args acc =
+        let t = parse_term st in
+        match next st with
+        | Comma -> args (t :: acc)
+        | Rparen -> List.rev (t :: acc)
+        | _ -> raise (Parse_error "expected ',' or ')'")
+      in
+      Literal.make pred (Array.of_list (args []))
+  | _ -> raise (Parse_error "expected a predicate name")
+
+(** [literal s] parses one literal. Raises {!Parse_error}. *)
+let literal s =
+  let st = { toks = tokenize s; vars = Hashtbl.create 8; gen = Term.Var_gen.create () } in
+  let l = parse_literal st in
+  (match peek st with
+  | None | Some Dot -> ()
+  | Some _ -> raise (Parse_error "trailing input after literal"));
+  l
+
+(** [clause s] parses a clause, e.g.
+    ["advisedBy(X,Y) :- student(X), professor(Y)."]. A headless body is not
+    allowed; a bodyless clause is a fact. Raises {!Parse_error}. *)
+let clause s =
+  let st = { toks = tokenize s; vars = Hashtbl.create 8; gen = Term.Var_gen.create () } in
+  let head = parse_literal st in
+  let body =
+    match peek st with
+    | Some Turnstile ->
+        ignore (next st);
+        let rec go acc =
+          let l = parse_literal st in
+          match peek st with
+          | Some Comma ->
+              ignore (next st);
+              go (l :: acc)
+          | _ -> List.rev (l :: acc)
+        in
+        go []
+    | _ -> []
+  in
+  (match peek st with
+  | None | Some Dot -> ()
+  | Some _ -> raise (Parse_error "trailing input after clause"));
+  Clause.make head body
+
+(** [definition s] parses newline- or dot-separated clauses into a Horn
+    definition. Blank lines and [#]-comments are ignored. *)
+let definition s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || (String.length line > 0 && line.[0] = '#') then None
+         else Some (clause line))

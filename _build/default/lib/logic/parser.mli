@@ -1,0 +1,22 @@
+(** Parser for clauses and literals in Datalog syntax.
+
+    Identifiers starting with an uppercase letter or ['_'] are variables
+    (Prolog convention); everything else is a constant. Quoted constants
+    (['drama']) allow leading capitals. Variables are interned left to
+    right, so re-parsing a printed clause gives an alpha-equivalent one. *)
+
+exception Parse_error of string
+
+(** [literal s] parses one literal, e.g. ["inPhase(X, post_quals)"].
+    @raise Parse_error on malformed input. *)
+val literal : string -> Literal.t
+
+(** [clause s] parses a clause, e.g.
+    ["advisedBy(X,Y) :- student(X), professor(Y)."]. A clause without
+    [":-"] is a fact (empty body).
+    @raise Parse_error on malformed input. *)
+val clause : string -> Clause.t
+
+(** [definition s] parses one clause per non-empty line; [#]-lines are
+    comments. *)
+val definition : string -> Clause.definition

@@ -1,0 +1,290 @@
+(** θ-subsumption testing (Section 5 of the paper).
+
+    Clause [c] θ-subsumes ground clause [g] iff there is a substitution θ with
+    body(c)θ ⊆ body(g). Deciding this is NP-hard, so, following the paper's
+    reference [29] (Kuzelka & Zelezny's restarted strategy), the engine runs a
+    backtracking search with
+
+    - candidate filtering through a (predicate, position, value) index over
+      the ground literals, so a literal with any bound argument only probes
+      matching ground literals;
+    - fail-first dynamic literal ordering (fewest candidate matches first)
+      with unit propagation (single-candidate literals are bound eagerly);
+    - a node budget per try and randomized restarts when the budget runs out.
+
+    With the budget exhausted on every restart the test answers [false] — an
+    under-approximation of coverage, exactly the trade-off the paper makes. *)
+
+type ground = {
+  by_pred : (string, Literal.t array) Hashtbl.t;
+  by_pred_pos_value :
+    (string * int * Relational.Value.t, Literal.t list) Hashtbl.t;
+  literal_count : int;
+}
+(** A ground clause body, pre-grouped by relation symbol and indexed by
+    argument value. *)
+
+(** [ground_of_literals ls] indexes ground literals [ls].
+    Raises [Invalid_argument] if some literal is not ground. *)
+let ground_of_literals ls =
+  List.iter
+    (fun l ->
+      if not (Literal.is_ground l) then
+        invalid_arg ("Subsumption.ground_of_literals: " ^ Literal.to_string l))
+    ls;
+  let tmp = Hashtbl.create 16 in
+  let by_pred_pos_value = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      let p = Literal.pred l in
+      let bucket = try Hashtbl.find tmp p with Not_found -> [] in
+      Hashtbl.replace tmp p (l :: bucket);
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Term.Const v ->
+              let key = (p, i, v) in
+              let b =
+                try Hashtbl.find by_pred_pos_value key with Not_found -> []
+              in
+              Hashtbl.replace by_pred_pos_value key (l :: b)
+          | Term.Var _ -> ())
+        (Literal.args l))
+    ls;
+  let by_pred = Hashtbl.create 16 in
+  Hashtbl.iter (fun p b -> Hashtbl.replace by_pred p (Array.of_list b)) tmp;
+  { by_pred; by_pred_pos_value; literal_count = List.length ls }
+
+let ground_size g = g.literal_count
+
+let ground_literals g =
+  Hashtbl.fold (fun _ arr acc -> Array.to_list arr @ acc) g.by_pred []
+
+exception Budget_exhausted
+
+type config = {
+  node_budget : int;  (** backtracking nodes allowed per try *)
+  restarts : int;  (** randomized retries after the first try *)
+}
+
+let default_config = { node_budget = 10_000; restarts = 2 }
+
+(* Ground literals possibly matching [lit] under [subst]: if some argument is
+   bound (a constant, or a variable bound by [subst]), probe the smallest
+   value-index bucket; otherwise fall back to the predicate bucket. *)
+let candidate_literals g subst lit =
+  let p = Literal.pred lit in
+  let args = Literal.args lit in
+  let best = ref None in
+  Array.iteri
+    (fun i t ->
+      let bound_value =
+        match t with
+        | Term.Const v -> Some v
+        | Term.Var x -> Substitution.find_opt x subst
+      in
+      match bound_value with
+      | None -> ()
+      | Some v ->
+          let bucket =
+            try Hashtbl.find g.by_pred_pos_value (p, i, v)
+            with Not_found -> []
+          in
+          let len = List.length bucket in
+          (match !best with
+          | Some (blen, _) when blen <= len -> ()
+          | _ -> best := Some (len, bucket)))
+    args;
+  match !best with
+  | Some (_, bucket) -> bucket
+  | None -> (
+      match Hashtbl.find_opt g.by_pred p with
+      | None -> []
+      | Some arr -> Array.to_list arr)
+
+(* Substitutions extending [subst] that map [lit] into [g]. *)
+let candidates g subst lit =
+  candidate_literals g subst lit
+  |> List.filter_map (fun gl -> Substitution.match_literal subst lit gl)
+
+(* One backtracking try with a node budget. [rng] randomizes branch order on
+   restart tries; the first try is deterministic. *)
+let solve_once ~config ~rng g body subst0 =
+  let nodes = ref 0 in
+  let tick () =
+    incr nodes;
+    if !nodes > config.node_budget then raise Budget_exhausted
+  in
+  let shuffle l =
+    match rng with
+    | None -> l
+    | Some st ->
+        let arr = Array.of_list l in
+        let n = Array.length arr in
+        for i = n - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- tmp
+        done;
+        Array.to_list arr
+  in
+  (* At every node compute each remaining literal's candidate extensions once,
+     fail on 0, propagate on 1, else branch on the fewest. *)
+  let rec search remaining subst =
+    tick ();
+    match remaining with
+    | [] -> Some subst
+    | _ -> (
+        let scored =
+          List.map (fun l -> (l, candidates g subst l)) remaining
+        in
+        match List.find_opt (fun (_, cs) -> cs = []) scored with
+        | Some _ -> None
+        | None -> (
+            match List.find_opt (fun (_, cs) -> List.length cs = 1) scored with
+            | Some (lit, [ s ]) ->
+                let rest = List.filter (fun l -> not (l == lit)) remaining in
+                search rest s
+            | Some _ -> assert false
+            | None -> (
+                let sorted =
+                  List.sort
+                    (fun (_, a) (_, b) ->
+                      compare (List.length a) (List.length b))
+                    scored
+                in
+                match sorted with
+                | [] -> Some subst
+                | (lit, branches) :: _ ->
+                    let rest =
+                      List.filter (fun l -> not (l == lit)) remaining
+                    in
+                    let rec try_branches = function
+                      | [] -> None
+                      | s :: more -> (
+                          match search rest s with
+                          | Some _ as ok -> ok
+                          | None -> try_branches more)
+                    in
+                    try_branches (shuffle branches))))
+  in
+  search body subst0
+
+(** [subsumes_subst ?config ?rng ~subst c g] tests whether the body of [c]
+    maps into [g] by some extension of [subst] (the head is assumed already
+    matched — coverage testing binds it from the example). Returns the
+    witnessing substitution. *)
+let subsumes_subst ?(config = default_config) ?rng ~subst c g =
+  let body = Clause.body c in
+  let attempt r =
+    try solve_once ~config ~rng:r g body subst
+    with Budget_exhausted -> None
+  in
+  match attempt None with
+  | Some _ as ok -> ok
+  | None ->
+      let rng =
+        match rng with
+        | Some st -> st
+        | None -> Random.State.make [| 0x5eed |]
+      in
+      let rec retry k =
+        if k = 0 then None
+        else
+          match attempt (Some rng) with
+          | Some _ as ok -> ok
+          | None -> retry (k - 1)
+      in
+      retry config.restarts
+
+(** [subsumes ?config ?rng c g] is [subsumes_subst] from the empty
+    substitution: plain θ-subsumption of [c]'s body into [g]. *)
+let subsumes ?config ?rng c g =
+  match subsumes_subst ?config ?rng ~subst:Substitution.empty c g with
+  | Some _ -> true
+  | None -> false
+
+(** {1 Prefix evaluation with substitution sets}
+
+    Bottom clauses list their body in construction order, so each literal is
+    (almost always) connected to earlier literals. That makes left-to-right
+    evaluation with a {e set of partial substitutions} — the frontier of all
+    ways the prefix maps into the ground clause — both fast and exactly what
+    ARMG needs: the first literal whose frontier dies is the {e blocking
+    atom} of Section 2.3.2. The frontier is capped at [cap] substitutions
+    (uniformly subsampled when it overflows), which makes the test
+    approximate in the same under-approximating direction as the budgeted
+    backtracking above. *)
+
+type verdict =
+  | Covered of Substitution.t  (** a witness substitution *)
+  | Blocked of int  (** 1-based index of the blocking body literal *)
+
+let default_frontier_cap = 24
+
+(** [step_frontier ?cap g frontier lit] advances the frontier across one body
+    literal: all extensions of frontier substitutions that map [lit] into
+    [g], deduplicated (duplicates arise when [lit] is already fully bound),
+    capped at [cap] (expansion stops at [4 × cap] raw extensions), and
+    rotated so a truncated tail gets its turn at the next literal. An empty
+    result means [lit] blocks. *)
+let step_frontier ?(cap = default_frontier_cap) g frontier lit =
+  (* Fair expansion: every frontier substitution gets an equal share of the
+     [3 × cap] expansion budget. A global first-come cut-off would only ever
+     extend the first few chains, silently discarding the binding diversity
+     the stride-truncation below works to preserve. *)
+  let frontier_size = List.length frontier in
+  let per_subst = max 2 (3 * cap / max 1 frontier_size) in
+  let out = ref [] in
+  List.iter
+    (fun s ->
+      let rec take n = function
+        | [] -> ()
+        | _ when n = 0 -> ()
+        | s' :: tl ->
+            out := s' :: !out;
+            take (n - 1) tl
+      in
+      take per_subst (candidates g s lit))
+    frontier;
+  (* Deduplication costs |out| log |out| map comparisons; tiny frontiers
+     cannot meaningfully explode, so skip it for them. *)
+  let deduped =
+    match !out with
+    | [] | [ _ ] -> !out
+    | l when List.length l <= 8 -> l
+    | l -> List.sort_uniq Substitution.compare l
+  in
+  let n = List.length deduped in
+  if n <= cap then
+    match deduped with [] -> [] | x :: tl -> tl @ [ x ]
+  else begin
+    (* Keep a stride-spread sample of the (sorted) frontier rather than its
+       lexicographic head: neighbouring substitutions share early-variable
+       bindings, and a frontier that kept only one binding of a shared
+       variable would falsely block any later literal needing another. *)
+    let arr = Array.of_list deduped in
+    List.init cap (fun i -> arr.(i * n / cap))
+  end
+
+(** [eval_prefix ?cap ~subst c g] evaluates the body of [c] against [g] left
+    to right starting from [subst], one {!step_frontier} per body literal. *)
+let eval_prefix ?cap ~subst c g =
+  let rec go i frontier = function
+    | [] -> (
+        match frontier with
+        | s :: _ -> Covered s
+        | [] -> assert false)
+    | lit :: rest -> (
+        match step_frontier ?cap g frontier lit with
+        | [] -> Blocked i
+        | next -> go (i + 1) next rest)
+  in
+  go 1 [ subst ] (Clause.body c)
+
+(** [covers_ground ?cap ~subst c g] is the boolean form of {!eval_prefix}. *)
+let covers_ground ?cap ~subst c g =
+  match eval_prefix ?cap ~subst c g with
+  | Covered _ -> true
+  | Blocked _ -> false

@@ -1,0 +1,70 @@
+(** θ-subsumption testing (Section 5 of the paper).
+
+    Clause [c] θ-subsumes ground clause [g] iff there is a substitution θ
+    with body(c)θ ⊆ body(g). Deciding this is NP-hard; two approximate
+    engines are provided, both erring toward answering "no" (coverage is
+    under-approximated, never over-approximated):
+
+    - a budgeted backtracking search with value-indexed candidate filtering,
+      fail-first ordering, unit propagation and randomized restarts (after
+      the paper's reference [29], Kuzelka & Zelezny);
+    - a left-to-right {e substitution-frontier} evaluator whose per-literal
+      frontier is capped — linear-time, and the engine the learner uses,
+      because it reports the paper's {e blocking atom} for free. *)
+
+type ground
+(** A ground clause body, pre-grouped by relation symbol and indexed by
+    (predicate, position, value). *)
+
+(** [ground_of_literals ls] indexes ground literals [ls].
+    @raise Invalid_argument if some literal is not ground. *)
+val ground_of_literals : Literal.t list -> ground
+
+val ground_size : ground -> int
+val ground_literals : ground -> Literal.t list
+
+type config = {
+  node_budget : int;  (** backtracking nodes allowed per try *)
+  restarts : int;  (** randomized retries after the first try *)
+}
+
+val default_config : config
+
+(** [subsumes_subst ?config ?rng ~subst c g] tests whether the body of [c]
+    maps into [g] by some extension of [subst] (coverage testing binds the
+    head from the example first). Returns the witnessing substitution. *)
+val subsumes_subst :
+  ?config:config ->
+  ?rng:Random.State.t ->
+  subst:Substitution.t ->
+  Clause.t ->
+  ground ->
+  Substitution.t option
+
+(** [subsumes ?config ?rng c g] is {!subsumes_subst} from the empty
+    substitution. *)
+val subsumes : ?config:config -> ?rng:Random.State.t -> Clause.t -> ground -> bool
+
+(** {1 Prefix evaluation with substitution frontiers} *)
+
+type verdict =
+  | Covered of Substitution.t  (** a witness substitution *)
+  | Blocked of int
+      (** 1-based index of the blocking body literal (Section 2.3.2) *)
+
+val default_frontier_cap : int
+
+(** [step_frontier ?cap g frontier lit] advances the frontier across one
+    body literal: all extensions mapping [lit] into [g], deduplicated,
+    stride-capped at [cap] (preserving binding diversity), and rotated.
+    An empty result means [lit] blocks. *)
+val step_frontier :
+  ?cap:int -> ground -> Substitution.t list -> Literal.t -> Substitution.t list
+
+(** [eval_prefix ?cap ~subst c g] evaluates the body of [c] left to right
+    from [subst], one {!step_frontier} per literal. *)
+val eval_prefix :
+  ?cap:int -> subst:Substitution.t -> Clause.t -> ground -> verdict
+
+(** [covers_ground ?cap ~subst c g] is the boolean form of {!eval_prefix}. *)
+val covers_ground : ?cap:int -> subst:Substitution.t -> Clause.t -> ground -> bool

@@ -1,0 +1,44 @@
+(** First-order terms: variables and constants.
+
+    Constants carry database values ([Relational.Value.t]); variables are
+    interned by integer id so substitutions can be dense arrays or maps with
+    cheap comparison. Fresh variables come from a counter local to each
+    clause-construction context ([Var_gen]). *)
+
+type t =
+  | Var of int
+  | Const of Relational.Value.t
+[@@deriving eq, ord]
+
+let is_var = function Var _ -> true | Const _ -> false
+let is_const = function Var _ -> false | Const _ -> true
+
+(** Variable names follow the Datalog convention (uppercase = variable) so
+    printed clauses re-parse with {!Parser}. Small ids map to the letter
+    sequence the paper uses in its running examples (x, y, z, t, u, v, w),
+    capitalized. *)
+let var_name i =
+  let letters = [| "X"; "Y"; "Z"; "T"; "U"; "V"; "W" |] in
+  if i >= 0 && i < Array.length letters then letters.(i)
+  else "V" ^ string_of_int i
+
+let to_string = function
+  | Var i -> var_name i
+  | Const v -> Relational.Value.to_string v
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(** Fresh-variable generator. One per bottom-clause construction. *)
+module Var_gen = struct
+  type nonrec t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let fresh g =
+    let i = g.next in
+    g.next <- i + 1;
+    Var i
+
+  (** [count g] is how many variables have been produced. *)
+  let count g = g.next
+end

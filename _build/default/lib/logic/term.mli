@@ -1,0 +1,33 @@
+(** First-order terms: variables (interned by integer id) and constants
+    (database values). *)
+
+type t =
+  | Var of int
+  | Const of Relational.Value.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_var : t -> bool
+val is_const : t -> bool
+
+(** [var_name i] renders variable [i] in the Datalog convention (uppercase,
+    so printed clauses re-parse): small ids map to X, Y, Z, T, U, V, W —
+    the letter sequence of the paper's running examples — then V7, V8, … *)
+val var_name : int -> string
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Fresh-variable generator; one per clause-construction context. *)
+module Var_gen : sig
+  type term := t
+  type t
+
+  val create : unit -> t
+
+  (** [fresh g] is a variable with the next unused id. *)
+  val fresh : t -> term
+
+  (** [count g] is how many variables have been produced. *)
+  val count : t -> int
+end

@@ -1,0 +1,1 @@
+lib/relational/csv.pp.ml: Array Buffer List Printf Relation Schema String Value

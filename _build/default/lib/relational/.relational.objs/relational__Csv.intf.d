@@ -1,0 +1,1 @@
+lib/relational/csv.pp.mli: Relation Schema

@@ -1,0 +1,1 @@
+lib/relational/database.pp.ml: Fmt Hashtbl List Relation Schema String

@@ -1,0 +1,1 @@
+lib/relational/database.pp.mli: Format Relation Schema

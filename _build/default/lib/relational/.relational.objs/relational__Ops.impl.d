@@ -1,0 +1,1 @@
+lib/relational/ops.pp.ml: Array List Relation Value

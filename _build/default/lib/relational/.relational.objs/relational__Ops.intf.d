@@ -1,0 +1,1 @@
+lib/relational/ops.pp.mli: Relation Value

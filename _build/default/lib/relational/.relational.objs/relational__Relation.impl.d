@@ -1,0 +1,1 @@
+lib/relational/relation.pp.ml: Array Fmt Hashtbl List Printf Schema Value

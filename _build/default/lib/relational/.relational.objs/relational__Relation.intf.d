@@ -1,0 +1,1 @@
+lib/relational/relation.pp.mli: Format Schema Value

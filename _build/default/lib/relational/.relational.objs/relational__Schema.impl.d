@@ -1,0 +1,1 @@
+lib/relational/schema.pp.ml: Array Fmt Hashtbl List Map Ppx_deriving_runtime Printf Set String

@@ -1,0 +1,1 @@
+lib/relational/stats.pp.ml: Array Database Fmt List Relation Schema Value

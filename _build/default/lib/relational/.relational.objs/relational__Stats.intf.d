@@ -1,0 +1,1 @@
+lib/relational/stats.pp.mli: Database Format Relation Schema Value

@@ -1,0 +1,1 @@
+lib/relational/value.pp.ml: Fmt Hashtbl Map Ppx_deriving_runtime Set

@@ -1,0 +1,1 @@
+lib/relational/value.pp.mli: Format Hashtbl Map Set

@@ -1,0 +1,99 @@
+(** Minimal CSV reader/writer for relation instances.
+
+    The format is deliberately simple: comma-separated, one tuple per line,
+    double quotes around fields that contain commas or quotes (doubled quotes
+    escape a quote). This is enough to round-trip every synthetic dataset and
+    to let a user load their own data. *)
+
+let split_line line =
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let n = String.length line in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+          flush ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv: unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let escape_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+(** [parse_string ~schema contents] parses CSV [contents] (no header) into a
+    relation with the given schema. Raises [Failure] on arity mismatch. *)
+let parse_string ~schema contents =
+  let r = Relation.create schema in
+  String.split_on_char '\n' contents
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" then begin
+           let fields = split_line line in
+           let t = Array.of_list (List.map Value.of_string fields) in
+           if Array.length t <> Schema.arity schema then
+             failwith
+               (Printf.sprintf "Csv: arity mismatch in %s: %s"
+                  schema.Schema.rel_name line);
+           Relation.add r t
+         end);
+  r
+
+(** [load ~schema path] reads the file at [path] as the instance of [schema]. *)
+let load ~schema path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse_string ~schema contents
+
+(** [to_string r] renders relation [r] as CSV (no header), oldest tuple
+    first so load/save round-trips preserve order. *)
+let to_string r =
+  let buf = Buffer.create 1024 in
+  List.rev (Relation.tuples r)
+  |> List.iter (fun t ->
+         Array.iteri
+           (fun i v ->
+             if i > 0 then Buffer.add_char buf ',';
+             Buffer.add_string buf (escape_field (Value.to_string v)))
+           t;
+         Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+(** [save r path] writes [to_string r] to [path]. *)
+let save r path =
+  let oc = open_out path in
+  output_string oc (to_string r);
+  close_out oc

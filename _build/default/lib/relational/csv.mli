@@ -1,0 +1,20 @@
+(** Minimal CSV reader/writer for relation instances.
+
+    Comma-separated, one tuple per line, no header; double quotes protect
+    fields containing commas or quotes (doubled quotes escape a quote).
+    Values parse with {!Value.of_string} (integers stay integers). *)
+
+(** [parse_string ~schema contents] parses CSV [contents] into an instance of
+    [schema].
+    @raise Failure on arity mismatch or an unterminated quote. *)
+val parse_string : schema:Schema.relation_schema -> string -> Relation.t
+
+(** [load ~schema path] reads the file at [path]. *)
+val load : schema:Schema.relation_schema -> string -> Relation.t
+
+(** [to_string r] renders [r] as CSV, oldest tuple first, so save/load
+    round-trips preserve order. *)
+val to_string : Relation.t -> string
+
+(** [save r path] writes [to_string r] to [path]. *)
+val save : Relation.t -> string -> unit

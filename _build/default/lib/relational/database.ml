@@ -1,0 +1,58 @@
+(** A database instance: a catalog of named relation instances.
+
+    This is the substrate the learner runs against — the reproduction's
+    stand-in for the VoltDB instance Castor uses in the paper. *)
+
+type t = { catalog : (string, Relation.t) Hashtbl.t }
+
+let create () = { catalog = Hashtbl.create 16 }
+
+(** [add_relation db r] registers [r]. Raises [Invalid_argument] if a relation
+    with the same name is already present. *)
+let add_relation db r =
+  let n = Relation.name r in
+  if Hashtbl.mem db.catalog n then
+    invalid_arg ("Database.add_relation: duplicate relation " ^ n);
+  Hashtbl.replace db.catalog n r
+
+(** [of_relations rs] builds a database holding relations [rs]. *)
+let of_relations rs =
+  let db = create () in
+  List.iter (add_relation db) rs;
+  db
+
+(** [find db name] is the relation called [name]. Raises [Not_found]. *)
+let find db name = Hashtbl.find db.catalog name
+
+let find_opt db name = Hashtbl.find_opt db.catalog name
+let mem db name = Hashtbl.mem db.catalog name
+
+(** [relations db] lists all relations, sorted by name so iteration order is
+    deterministic across runs. *)
+let relations db =
+  Hashtbl.fold (fun _ r acc -> r :: acc) db.catalog []
+  |> List.sort (fun a b -> String.compare (Relation.name a) (Relation.name b))
+
+(** [schema db] is the database schema derived from the catalog. *)
+let schema db : Schema.t = List.map Relation.schema (relations db)
+
+(** [total_tuples db] is the sum of all relation cardinalities. *)
+let total_tuples db =
+  List.fold_left (fun acc r -> acc + Relation.cardinality r) 0 (relations db)
+
+(** [attribute_position db a] resolves attribute [a] to (relation, column).
+    Raises [Not_found] if the relation or attribute is missing. *)
+let attribute_position db (a : Schema.attribute) =
+  let r = find db a.Schema.relation in
+  (r, Schema.position (Relation.schema r) a.Schema.name)
+
+let pp ppf db =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Relation.pp) (relations db)
+
+(** [stats ppf db] prints one line per relation: name, arity, cardinality. *)
+let stats ppf db =
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-24s arity=%d tuples=%d@." (Relation.name r) (Relation.arity r)
+        (Relation.cardinality r))
+    (relations db)

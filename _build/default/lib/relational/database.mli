@@ -1,0 +1,40 @@
+(** A database instance: a catalog of named relation instances — the
+    reproduction's stand-in for the VoltDB instance Castor uses in the
+    paper. *)
+
+type t
+
+val create : unit -> t
+
+(** [add_relation db r] registers [r].
+    @raise Invalid_argument on a duplicate relation name. *)
+val add_relation : t -> Relation.t -> unit
+
+(** [of_relations rs] builds a database holding relations [rs]. *)
+val of_relations : Relation.t list -> t
+
+(** [find db name] is the relation called [name].
+    @raise Not_found if absent. *)
+val find : t -> string -> Relation.t
+
+val find_opt : t -> string -> Relation.t option
+val mem : t -> string -> bool
+
+(** [relations db] lists all relations sorted by name (deterministic
+    iteration order). *)
+val relations : t -> Relation.t list
+
+(** [schema db] is the database schema derived from the catalog. *)
+val schema : t -> Schema.t
+
+(** [total_tuples db] is the sum of all relation cardinalities. *)
+val total_tuples : t -> int
+
+(** [attribute_position db a] resolves attribute [a] to (relation, column).
+    @raise Not_found if the relation or attribute is missing. *)
+val attribute_position : t -> Schema.attribute -> Relation.t * int
+
+val pp : Format.formatter -> t -> unit
+
+(** [stats ppf db] prints one line per relation: name, arity, cardinality. *)
+val stats : Format.formatter -> t -> unit

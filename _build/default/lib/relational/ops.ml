@@ -1,0 +1,64 @@
+(** Relational-algebra operators used by the learner and the samplers.
+
+    Everything here is served from hash indexes, so semi-joins are linear in
+    the size of the probing side, matching the cost model the paper assumes
+    for its main-memory substrate. *)
+
+(** [semi_join left lpos right rpos] is the right semi-join
+    [left ⋉_{left.lpos = right.rpos} right] (written R1 ⋊ R2 in the paper):
+    the tuples of [right] whose column [rpos] value appears in column [lpos]
+    of [left]. Output order is deterministic given relation contents. *)
+let semi_join left lpos right rpos =
+  let keys = Relation.project left lpos in
+  Value.Set.fold
+    (fun v acc -> List.rev_append (Relation.lookup right rpos v) acc)
+    keys []
+
+(** [semi_join_values keys right rpos] is the semi-join where the left side is
+    already reduced to its set of join values — the form the bottom-clause
+    construction uses (the "known constants" set M of Algorithm 2). *)
+let semi_join_values keys right rpos =
+  Value.Set.fold
+    (fun v acc -> List.rev_append (Relation.lookup right rpos v) acc)
+    keys []
+
+(** [join_count left lpos right rpos] is |left ⋈ right| on the given columns,
+    computed without materializing the join. *)
+let join_count left lpos right rpos =
+  Relation.fold
+    (fun acc t -> acc + Relation.frequency right rpos t.(lpos))
+    left 0
+
+(** [contains_all sub subpos sup suppos] holds iff every distinct value of
+    [sub]'s column is a value of [sup]'s column — i.e. the exact unary IND
+    sub[subpos] ⊆ sup[suppos] holds. *)
+let contains_all sub subpos sup suppos =
+  let sup_values = Relation.project sup suppos in
+  Value.Set.subset (Relation.project sub subpos) sup_values
+
+(** [ind_error sub subpos sup suppos] is the approximate-IND error: the
+    fraction of *distinct* values of sub[subpos] that must be removed for
+    sub[subpos] ⊆ sup[suppos] to hold (definition of [1] as used in
+    Section 3.1). Returns 0. on an empty left side. *)
+let ind_error sub subpos sup suppos =
+  let sub_values = Relation.project sub subpos in
+  let total = Value.Set.cardinal sub_values in
+  if total = 0 then 0.
+  else begin
+    let sup_values = Relation.project sup suppos in
+    let missing =
+      Value.Set.cardinal (Value.Set.diff sub_values sup_values)
+    in
+    float_of_int missing /. float_of_int total
+  end
+
+(** [natural_join_tuples left lpos right rpos] materializes the pairs of the
+    equi-join; used only by tests and tiny examples, never by the learner. *)
+let natural_join_tuples left lpos right rpos =
+  Relation.fold
+    (fun acc tl ->
+      List.fold_left
+        (fun acc tr -> (tl, tr) :: acc)
+        acc
+        (Relation.lookup right rpos tl.(lpos)))
+    left []

@@ -1,0 +1,32 @@
+(** Relational-algebra operators used by the learner and the samplers — all
+    served from hash indexes, so semi-joins are linear in the probing side,
+    matching the paper's cost model for its main-memory substrate. *)
+
+(** [semi_join left lpos right rpos] is the right semi-join
+    [left ⋉ right] (the paper's R1 ⋊ R2): the tuples of [right] whose column
+    [rpos] value appears in column [lpos] of [left]. *)
+val semi_join : Relation.t -> int -> Relation.t -> int -> Relation.tuple list
+
+(** [semi_join_values keys right rpos] is the semi-join with the left side
+    already reduced to its join-value set — the form bottom-clause
+    construction uses (Algorithm 2's known-constants set M). *)
+val semi_join_values : Value.Set.t -> Relation.t -> int -> Relation.tuple list
+
+(** [join_count left lpos right rpos] is |left ⋈ right| without
+    materializing the join. *)
+val join_count : Relation.t -> int -> Relation.t -> int -> int
+
+(** [contains_all sub subpos sup suppos] holds iff the exact unary IND
+    sub[subpos] ⊆ sup[suppos] holds. *)
+val contains_all : Relation.t -> int -> Relation.t -> int -> bool
+
+(** [ind_error sub subpos sup suppos] is the approximate-IND error: the
+    fraction of {e distinct} values of sub[subpos] that must be removed for
+    the IND to hold (Section 3.1). 0. on an empty left side. *)
+val ind_error : Relation.t -> int -> Relation.t -> int -> float
+
+(** [natural_join_tuples left lpos right rpos] materializes the join pairs;
+    for tests and tiny examples only. *)
+val natural_join_tuples :
+  Relation.t -> int -> Relation.t -> int ->
+  (Relation.tuple * Relation.tuple) list

@@ -1,0 +1,84 @@
+(** Relation schemas and database schemas.
+
+    A relation schema is a relation name plus an ordered list of attribute
+    names. An attribute is globally identified by the pair (relation name,
+    attribute name) — the paper's type graph (Algorithm 3) has one node per
+    such pair. *)
+
+type attribute = {
+  relation : string;  (** owning relation name *)
+  name : string;  (** attribute name within the relation *)
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+(** [attr rel name] builds the global identifier of attribute [name] of
+    relation [rel]. *)
+let attr relation name = { relation; name }
+
+let attribute_to_string a = a.relation ^ "[" ^ a.name ^ "]"
+let pp_attribute_short ppf a = Fmt.string ppf (attribute_to_string a)
+
+type relation_schema = {
+  rel_name : string;
+  attrs : string array;  (** attribute names, in column order *)
+}
+[@@deriving eq, show { with_path = false }]
+
+(** [relation name attrs] builds a relation schema. Raises [Invalid_argument]
+    on duplicate attribute names: positions would be ambiguous. *)
+let relation rel_name attrs =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun a ->
+      if Hashtbl.mem seen a then
+        invalid_arg
+          (Printf.sprintf "Schema.relation: duplicate attribute %s in %s" a
+             rel_name);
+      Hashtbl.add seen a ())
+    attrs;
+  { rel_name; attrs }
+
+let arity rs = Array.length rs.attrs
+
+(** [position rs name] is the column index of attribute [name].
+    Raises [Not_found] if absent. *)
+let position rs name =
+  let rec go i =
+    if i >= Array.length rs.attrs then raise Not_found
+    else if String.equal rs.attrs.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let position_opt rs name = try Some (position rs name) with Not_found -> None
+
+(** [attributes rs] lists the global attribute identifiers of [rs] in column
+    order. *)
+let attributes rs =
+  Array.to_list (Array.map (fun a -> attr rs.rel_name a) rs.attrs)
+
+type t = relation_schema list
+(** A database schema is the list of its relation schemas. *)
+
+(** [find schema name] is the schema of relation [name].
+    Raises [Not_found]. *)
+let find (schema : t) name =
+  List.find (fun rs -> String.equal rs.rel_name name) schema
+
+let find_opt (schema : t) name =
+  List.find_opt (fun rs -> String.equal rs.rel_name name) schema
+
+(** [all_attributes schema] lists every attribute of every relation. *)
+let all_attributes (schema : t) = List.concat_map attributes schema
+
+module Attr_map = Map.Make (struct
+  type t = attribute
+
+  let compare = compare_attribute
+end)
+
+module Attr_set = Set.Make (struct
+  type t = attribute
+
+  let compare = compare_attribute
+end)

@@ -1,0 +1,64 @@
+(** Relation schemas and database schemas.
+
+    An attribute is globally identified by (relation name, attribute name) —
+    the paper's type graph (Algorithm 3) has one node per such pair. *)
+
+type attribute = {
+  relation : string;  (** owning relation name *)
+  name : string;  (** attribute name within the relation *)
+}
+
+val equal_attribute : attribute -> attribute -> bool
+val compare_attribute : attribute -> attribute -> int
+val pp_attribute : Format.formatter -> attribute -> unit
+val show_attribute : attribute -> string
+
+(** [attr rel name] builds the global identifier of attribute [name] of
+    relation [rel]. *)
+val attr : string -> string -> attribute
+
+(** [attribute_to_string a] is ["rel[name]"], the rendering used throughout
+    the paper. *)
+val attribute_to_string : attribute -> string
+
+val pp_attribute_short : Format.formatter -> attribute -> unit
+
+type relation_schema = {
+  rel_name : string;
+  attrs : string array;  (** attribute names, in column order *)
+}
+
+val equal_relation_schema : relation_schema -> relation_schema -> bool
+val pp_relation_schema : Format.formatter -> relation_schema -> unit
+val show_relation_schema : relation_schema -> string
+
+(** [relation name attrs] builds a relation schema.
+    @raise Invalid_argument on duplicate attribute names. *)
+val relation : string -> string array -> relation_schema
+
+val arity : relation_schema -> int
+
+(** [position rs name] is the column index of attribute [name].
+    @raise Not_found if absent. *)
+val position : relation_schema -> string -> int
+
+val position_opt : relation_schema -> string -> int option
+
+(** [attributes rs] lists the global attribute identifiers of [rs] in column
+    order. *)
+val attributes : relation_schema -> attribute list
+
+type t = relation_schema list
+(** A database schema is the list of its relation schemas. *)
+
+(** [find schema name] is the schema of relation [name].
+    @raise Not_found if absent. *)
+val find : t -> string -> relation_schema
+
+val find_opt : t -> string -> relation_schema option
+
+(** [all_attributes schema] lists every attribute of every relation. *)
+val all_attributes : t -> attribute list
+
+module Attr_map : Map.S with type key = attribute
+module Attr_set : Set.S with type elt = attribute

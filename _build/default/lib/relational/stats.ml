@@ -1,0 +1,58 @@
+(** Column statistics: the profiling summaries the bias-induction story
+    depends on (distinct counts and ratios feed the constant-threshold;
+    frequency skew feeds the Olken sampler), packaged for inspection. *)
+
+type column = {
+  attribute : Schema.attribute;
+  cardinality : int;  (** tuples in the relation *)
+  distinct : int;
+  distinct_ratio : float;  (** distinct / cardinality; 0 on empty relations *)
+  max_frequency : int;
+  top : (Value.t * int) list;  (** most frequent values, descending *)
+}
+
+(** [column ?top_k rel pos] profiles one column ([top_k] defaults to 5). *)
+let column ?(top_k = 5) rel pos =
+  let cardinality = Relation.cardinality rel in
+  let distinct = Relation.distinct_count rel pos in
+  let top =
+    Relation.distinct_values rel pos
+    |> List.map (fun v -> (v, Relation.frequency rel pos v))
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < top_k)
+  in
+  {
+    attribute =
+      Schema.attr (Relation.name rel) (Relation.schema rel).Schema.attrs.(pos);
+    cardinality;
+    distinct;
+    distinct_ratio =
+      (if cardinality = 0 then 0.
+       else float_of_int distinct /. float_of_int cardinality);
+    max_frequency = Relation.max_frequency rel pos;
+    top;
+  }
+
+(** [relation ?top_k rel] profiles every column of [rel]. *)
+let relation ?top_k rel =
+  List.init (Relation.arity rel) (fun pos -> column ?top_k rel pos)
+
+(** [database ?top_k db] profiles every column of every relation, in the
+    catalog's deterministic order. *)
+let database ?top_k db =
+  List.concat_map (relation ?top_k) (Database.relations db)
+
+let pp_column ppf c =
+  Fmt.pf ppf "%-28s distinct=%d/%d (%.1f%%) maxfreq=%d top=[%a]"
+    (Schema.attribute_to_string c.attribute)
+    c.distinct c.cardinality
+    (100. *. c.distinct_ratio)
+    c.max_frequency
+    Fmt.(
+      list ~sep:(any " ") (fun ppf (v, n) ->
+          pf ppf "%a×%d" Value.pp_short v n))
+    c.top
+
+(** [pp ppf cols] — one line per column. *)
+let pp ppf cols =
+  List.iter (fun c -> Fmt.pf ppf "%a@." pp_column c) cols

@@ -1,0 +1,24 @@
+(** Column statistics: distinct counts and ratios (what the
+    constant-threshold of Section 3.2 inspects) and frequency skew (what the
+    Olken sampler corrects for), packaged for inspection and the CLI. *)
+
+type column = {
+  attribute : Schema.attribute;
+  cardinality : int;  (** tuples in the relation *)
+  distinct : int;
+  distinct_ratio : float;  (** distinct / cardinality; 0 on empty relations *)
+  max_frequency : int;
+  top : (Value.t * int) list;  (** most frequent values, descending *)
+}
+
+(** [column ?top_k rel pos] profiles one column ([top_k] defaults to 5). *)
+val column : ?top_k:int -> Relation.t -> int -> column
+
+(** [relation ?top_k rel] profiles every column of [rel]. *)
+val relation : ?top_k:int -> Relation.t -> column list
+
+(** [database ?top_k db] profiles every column of every relation. *)
+val database : ?top_k:int -> Database.t -> column list
+
+val pp_column : Format.formatter -> column -> unit
+val pp : Format.formatter -> column list -> unit

@@ -1,0 +1,1 @@
+lib/sampling/reservoir.pp.ml: Array Fun List Random

@@ -1,0 +1,1 @@
+lib/sampling/reservoir.pp.mli: Random

@@ -1,0 +1,1 @@
+lib/sampling/semi_join_tree.pp.ml: Array Bias Fmt List Printf Relational String

@@ -1,0 +1,1 @@
+lib/sampling/semi_join_tree.pp.mli: Bias Format

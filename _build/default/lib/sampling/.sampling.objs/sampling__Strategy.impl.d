@@ -1,0 +1,1 @@
+lib/sampling/strategy.pp.ml: Array Hashtbl List Ppx_deriving_runtime Random Relational Reservoir

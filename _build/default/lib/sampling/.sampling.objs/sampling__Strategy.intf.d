@@ -1,0 +1,1 @@
+lib/sampling/strategy.pp.mli: Format Random Relational

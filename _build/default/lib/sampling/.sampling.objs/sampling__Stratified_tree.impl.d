@@ -1,0 +1,1 @@
+lib/sampling/stratified_tree.pp.ml: Array Bias Hashtbl List Relational Reservoir

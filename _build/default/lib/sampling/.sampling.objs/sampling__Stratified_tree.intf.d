@@ -1,0 +1,1 @@
+lib/sampling/stratified_tree.pp.mli: Bias Random Relational

@@ -1,0 +1,21 @@
+(** Reservoir sampling shared by the samplers. *)
+
+(** [sample rng n l] is a uniform sample without replacement of at most [n]
+    elements of [l] (all of [l] when it is short enough). Order of the
+    result is unspecified but deterministic given [rng]'s state. *)
+let sample rng n l =
+  if n <= 0 then []
+  else begin
+    let res = Array.make n None in
+    let seen = ref 0 in
+    List.iter
+      (fun x ->
+        if !seen < n then res.(!seen) <- Some x
+        else begin
+          let j = Random.State.int rng (!seen + 1) in
+          if j < n then res.(j) <- Some x
+        end;
+        incr seen)
+      l;
+    Array.to_list res |> List.filter_map Fun.id
+  end

@@ -1,0 +1,6 @@
+(** Reservoir sampling shared by the samplers. *)
+
+(** [sample rng n l] is a uniform sample without replacement of at most [n]
+    elements of [l] (all of [l] when short enough); deterministic given
+    [rng]'s state. *)
+val sample : Random.State.t -> int -> 'a list -> 'a list

@@ -1,0 +1,100 @@
+(** The semi-join tree of Section 4.2.4.
+
+    Nodes are relation symbols; the root is the target relation; a node for
+    relation R1 has a child for relation R2, labelled with the joining
+    attribute pair (A, B), whenever the bias lets R1[A] feed the [+]
+    attribute R2[B] of some mode of R2. A relation can appear under several
+    parents (one node per join path), so the tree is expanded to a bounded
+    depth [d] — the number of iterations of bottom-clause construction.
+
+    Bottom-clause construction {e is} a traversal of this tree that shares
+    each node's sampled tuple set with the node's children; the tree is
+    materialized here for inspection (benchmarks print it), for fanout
+    statistics, and for tests that check the bias induces the expected join
+    paths. *)
+
+module Schema = Relational.Schema
+
+type node = {
+  relation : string;
+  depth : int;
+  via : (string * string) option;
+      (** (parent attribute, this node's [+] attribute); [None] at the root *)
+  children : node list;
+}
+
+type t = { root : node; node_count : int }
+
+let root t = t.root
+let node_count t = t.node_count
+
+(* Attribute pairs (parent_attr, child_attr) over which parent relation [p]
+   can feed a mode of child relation [c]: the child's + attribute shares a
+   type with some attribute of the parent. *)
+let join_labels bias parent_schema (mode : Bias.Mode.t) =
+  let child = mode.Bias.Mode.pred in
+  let child_schema =
+    match Schema.find_opt (Bias.Language.schema bias) child with
+    | Some rs -> Some rs
+    | None ->
+        let tgt = Bias.Language.target bias in
+        if String.equal tgt.Schema.rel_name child then Some tgt else None
+  in
+  match child_schema with
+  | None -> []
+  | Some child_schema ->
+      Bias.Mode.input_positions mode
+      |> List.concat_map (fun cpos ->
+             Array.to_list parent_schema.Schema.attrs
+             |> List.mapi (fun ppos pname -> (ppos, pname))
+             |> List.filter_map (fun (ppos, pname) ->
+                    if
+                      Bias.Language.share_type bias
+                        parent_schema.Schema.rel_name ppos child cpos
+                    then Some (pname, child_schema.Schema.attrs.(cpos))
+                    else None))
+
+(** [build bias ~depth] expands the tree to [depth] levels below the root.
+    [max_children] (default 64) bounds the per-node fanout to keep huge
+    biases printable; truncation only affects rendering, not learning. *)
+let build ?(max_children = 64) bias ~depth =
+  let count = ref 0 in
+  let schema_of name =
+    let tgt = Bias.Language.target bias in
+    if String.equal tgt.Schema.rel_name name then tgt
+    else Schema.find (Bias.Language.schema bias) name
+  in
+  let rec expand relation d via =
+    incr count;
+    let children =
+      if d >= depth then []
+      else begin
+        let parent_schema = schema_of relation in
+        Bias.Language.modes bias
+        |> List.concat_map (fun m ->
+               join_labels bias parent_schema m
+               |> List.map (fun lbl -> (m.Bias.Mode.pred, lbl)))
+        |> List.sort_uniq compare
+        |> (fun l ->
+             if List.length l > max_children then List.filteri (fun i _ -> i < max_children) l
+             else l)
+        |> List.map (fun (child, lbl) -> expand child (d + 1) (Some lbl))
+      end
+    in
+    { relation; depth = d; via; children }
+  in
+  let root = expand (Bias.Language.target bias).Schema.rel_name 0 None in
+  { root; node_count = !count }
+
+let rec pp_node ppf n =
+  let label =
+    match n.via with
+    | None -> n.relation
+    | Some (a, b) -> Printf.sprintf "%s  (on %s=%s)" n.relation a b
+  in
+  Fmt.pf ppf "@[<v2>%s%a@]" label
+    (fun ppf children ->
+      List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children)
+    n.children
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@,(%d nodes)@]" pp_node t.root t.node_count

@@ -1,0 +1,26 @@
+(** The semi-join tree of Section 4.2.4: root = target relation; a node for
+    R1 has a child for R2 labelled (A, B) whenever the bias lets R1[A] feed
+    the [+] attribute R2[B] of some mode. Bottom-clause construction is a
+    traversal of this tree; it is materialized here for inspection, fanout
+    statistics, and tests. *)
+
+type node = {
+  relation : string;
+  depth : int;
+  via : (string * string) option;
+      (** (parent attribute, this node's [+] attribute); [None] at root *)
+  children : node list;
+}
+
+type t
+
+val root : t -> node
+val node_count : t -> int
+
+(** [build ?max_children bias ~depth] expands the tree [depth] levels below
+    the root; per-node fanout is truncated at [max_children] (rendering
+    guard only). *)
+val build : ?max_children:int -> Bias.Language.t -> depth:int -> t
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> t -> unit

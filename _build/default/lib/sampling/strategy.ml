@@ -1,0 +1,127 @@
+(** The three sampling techniques of Section 4, behind one interface.
+
+    Bottom-clause construction (Algorithm 2) repeatedly asks: given the set
+    [known] of constants already in the clause that can feed the [+]
+    attribute [pos] of relation [rel], give me at most [size] tuples of
+    [σ_{pos ∈ known}(rel)]. Each strategy answers differently:
+
+    - {b Naive} (Section 4.1): a uniform sample of the matching tuples —
+      every matching tuple has the same inclusion probability.
+    - {b Random} (Section 4.2): Olken-style acceptance–rejection over the
+      semi-join [known ⋊ rel]: draw a value [a] uniformly from [known], draw
+      a matching tuple uniformly, accept with probability [m(a)/M] where
+      [m(a)] is the frequency of [a] in the column and [M] the column's
+      maximum frequency. This yields a uniform sample of the semi-join
+      {e output} (which weights values by existence, not frequency, per the
+      paper's semi-join analysis) without materializing it.
+    - {b Stratified} (Section 4.3, Algorithm 4): partition the matching
+      tuples into strata — one per distinct value of each constant-able
+      attribute, or a single stratum when the relation has none — and sample
+      [size] tuples uniformly {e per stratum}, so rare relationships survive
+      sampling.
+
+    All strategies draw from an explicit [Random.State.t] for
+    reproducibility. *)
+
+module Value = Relational.Value
+module Relation = Relational.Relation
+
+type t =
+  | Naive
+  | Random
+  | Stratified
+[@@deriving eq, show { with_path = false }]
+
+let to_string = function
+  | Naive -> "naive"
+  | Random -> "random"
+  | Stratified -> "stratified"
+
+let of_string = function
+  | "naive" -> Naive
+  | "random" -> Random
+  | "stratified" -> Stratified
+  | s -> invalid_arg ("Strategy.of_string: " ^ s)
+
+let all = [ Naive; Random; Stratified ]
+
+let reservoir rng size l = Reservoir.sample rng size l
+
+let matching_tuples rel pos known =
+  Value.Set.fold
+    (fun v acc -> List.rev_append (Relation.lookup rel pos v) acc)
+    known []
+
+let naive_sample ~rng ~rel ~pos ~known ~size =
+  reservoir rng size (matching_tuples rel pos known)
+
+(* Olken acceptance–rejection. [attempt_factor] bounds the number of draws so
+   a column full of rejections cannot stall learning. *)
+let random_sample ?(attempt_factor = 30) ~rng ~rel ~pos ~known ~size () =
+  let values = Array.of_list (Value.Set.elements known) in
+  let n_values = Array.length values in
+  if n_values = 0 || size <= 0 then []
+  else begin
+    let max_freq = Relation.max_frequency rel pos in
+    if max_freq = 0 then []
+    else begin
+      let out = ref [] in
+      let accepted = ref 0 in
+      let attempts = ref 0 in
+      let max_attempts = (attempt_factor * size) + 50 in
+      while !accepted < size && !attempts < max_attempts do
+        incr attempts;
+        let a = values.(Random.State.int rng n_values) in
+        let bucket = Relation.lookup rel pos a in
+        let m = List.length bucket in
+        if m > 0 then begin
+          let t = List.nth bucket (Random.State.int rng m) in
+          let p = float_of_int m /. float_of_int max_freq in
+          if Random.State.float rng 1.0 <= p then begin
+            out := t :: !out;
+            incr accepted
+          end
+        end
+      done;
+      (* Sampling is with replacement; the bottom clause is a set of
+         literals, so duplicates carry no information — drop them. *)
+      List.sort_uniq compare !out
+    end
+  end
+
+let stratified_sample ~rng ~rel ~pos ~known ~size ~constant_positions =
+  let matching = matching_tuples rel pos known in
+  match constant_positions with
+  | [] -> reservoir rng size matching
+  | consts ->
+      (* One stratum per (constant attribute, distinct value) pair; a tuple
+         belongs to the stratum of each of its constant attributes, so every
+         variation of every literal keeps representatives (Section 4.3). *)
+      let strata = Hashtbl.create 32 in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun cpos ->
+              let key = (cpos, t.(cpos)) in
+              let bucket = try Hashtbl.find strata key with Not_found -> [] in
+              Hashtbl.replace strata key (t :: bucket))
+            consts)
+        matching;
+      let keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) strata [] |> List.sort compare
+      in
+      List.concat_map
+        (fun key -> reservoir rng size (Hashtbl.find strata key))
+        keys
+      |> List.sort_uniq compare
+
+(** [sample strategy ~rng ~rel ~pos ~known ~size ~constant_positions] draws
+    tuples of [σ_{pos ∈ known}(rel)] under [strategy].
+    [constant_positions] (the attributes the language bias allows as
+    constants) defines the strata for {!Stratified} and is ignored
+    otherwise. *)
+let sample strategy ~rng ~rel ~pos ~known ~size ~constant_positions =
+  match strategy with
+  | Naive -> naive_sample ~rng ~rel ~pos ~known ~size
+  | Random -> random_sample ~rng ~rel ~pos ~known ~size ()
+  | Stratified -> stratified_sample ~rng ~rel ~pos ~known ~size ~constant_positions

@@ -1,0 +1,41 @@
+(** The three bottom-clause sampling techniques of Section 4 behind one
+    interface. Each call answers: given the constants [known] that can feed
+    the [+] attribute [pos] of relation [rel], return at most [size] tuples
+    of σ_(pos ∈ known)(rel).
+
+    - {!Naive} (Section 4.1): uniform over the matching tuples.
+    - {!Random} (Section 4.2): Olken-style acceptance–rejection over the
+      semi-join [known ⋊ rel] — draw a value uniformly, draw a matching
+      tuple, accept with probability m(a)/M — a uniform sample of the
+      semi-join output without materializing it.
+    - {!Stratified} (Section 4.3, Algorithm 4): one stratum per distinct
+      value of each constant-able attribute (or one stratum overall);
+      [size] tuples per stratum, so rare relationships survive. *)
+
+type t =
+  | Naive
+  | Random
+  | Stratified
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** @raise Invalid_argument on unknown names. *)
+val of_string : string -> t
+
+val all : t list
+
+(** [sample strategy ~rng ~rel ~pos ~known ~size ~constant_positions] draws
+    tuples of σ_(pos ∈ known)(rel). [constant_positions] (attributes the
+    bias allows as constants) defines {!Stratified}'s strata and is ignored
+    otherwise. Deterministic given [rng]'s state. *)
+val sample :
+  t ->
+  rng:Random.State.t ->
+  rel:Relational.Relation.t ->
+  pos:int ->
+  known:Relational.Value.Set.t ->
+  size:int ->
+  constant_positions:int list ->
+  Relational.Relation.tuple list

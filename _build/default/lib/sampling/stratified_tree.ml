@@ -1,0 +1,171 @@
+(** Algorithm 4 of the paper, literally: stratified construction of the
+    relevant-tuple set I_e^s by a depth-first traversal of the semi-join
+    structure.
+
+    [StratRec(R, A, M, i, d, s)] selects I_R = σ_(A ∈ M)(R); at the deepest
+    level it samples [s] tuples per stratum of I_R (one stratum per distinct
+    value of each constant-able attribute, or a single stratum without one);
+    otherwise it recurses into every relation S sharing a type with an
+    attribute B of R, then — backtracking — keeps the tuples of I_R that
+    join the sampled tuples below.
+
+    {!Strategy.Stratified} applies the same stratified sampling {e per
+    bottom-clause step}, which is how the learner consumes it; this module
+    is the standalone set-level algorithm, used by tests (the two must
+    agree on reachability) and by anyone wanting the paper's I_e^s
+    directly. *)
+
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+
+type config = {
+  depth : int;  (** d: recursion depth *)
+  per_stratum : int;  (** s: tuples sampled per stratum *)
+  max_branches : int;  (** safety bound on (attribute, relation) branches *)
+}
+
+let default_config = { depth = 2; per_stratum = 20; max_branches = 64 }
+
+(* Strata of tuple list [tuples]: grouped by each constant-able attribute's
+   value; one stratum overall if none. *)
+let sample_strata ~rng ~per_stratum ~constant_positions tuples =
+  match constant_positions with
+  | [] ->
+      (* single stratum: uniform sample *)
+      Reservoir.sample rng per_stratum tuples
+  | consts ->
+      let strata = Hashtbl.create 16 in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun c ->
+              let key = (c, t.(c)) in
+              let b = try Hashtbl.find strata key with Not_found -> [] in
+              Hashtbl.replace strata key (t :: b))
+            consts)
+        tuples;
+      Hashtbl.fold (fun k _ acc -> k :: acc) strata []
+      |> List.sort compare
+      |> List.concat_map (fun k ->
+             Reservoir.sample rng per_stratum (Hashtbl.find strata k))
+      |> List.sort_uniq compare
+
+(* Branches out of relation [r]: for each attribute B of [r], the relations
+   S (with the joining position) whose some attribute shares a type with
+   r[B] and carries a [+] in some mode of S. *)
+let branches bias db rel_name =
+  let schema_of name = Schema.find (Bias.Language.schema bias) name in
+  let rs = schema_of rel_name in
+  List.concat
+    (List.mapi
+       (fun bpos _ ->
+         List.filter_map
+           (fun other ->
+             let oname = Relational.Relation.name other in
+             let os = Relation.schema other in
+             let joins =
+               List.init (Schema.arity os) (fun opos -> opos)
+               |> List.filter (fun opos ->
+                      Bias.Language.share_type bias rel_name bpos oname opos
+                      && List.exists
+                           (fun (m : Bias.Mode.t) ->
+                             List.mem opos (Bias.Mode.input_positions m))
+                           (Bias.Language.modes_of bias oname))
+             in
+             match joins with
+             | [] -> None
+             | opos :: _ -> Some (bpos, oname, opos))
+           (Relational.Database.relations db))
+       (Array.to_list rs.Schema.attrs))
+
+(** [collect ?config db bias ~rng ~example] is the paper's I_e^s: the
+    stratified sample of the tuples relevant to [example], as a list of
+    (relation name, tuple) pairs. *)
+let collect ?(config = default_config) db bias ~rng ~example =
+  let target = Bias.Language.target bias in
+  let out = Hashtbl.create 256 in
+  let add rel_name t = Hashtbl.replace out (rel_name, t) () in
+  (* StratRec(R, A, M, i, d, s) *)
+  let rec strat_rec rel_name apos m i =
+    match Relational.Database.find_opt db rel_name with
+    | None -> []
+    | Some rel ->
+        let selected = Relation.select rel apos m in
+        let constant_positions =
+          List.init (Relation.arity rel) (fun p -> p)
+          |> List.filter (fun p -> Bias.Language.constant_allowed bias rel_name p)
+        in
+        if i >= config.depth then begin
+          let sampled =
+            sample_strata ~rng ~per_stratum:config.per_stratum
+              ~constant_positions selected
+          in
+          List.iter (add rel_name) sampled;
+          sampled
+        end
+        else begin
+          (* Recurse into each join branch; keep tuples of I_R joining the
+             sampled tuples below (the backtracking step). *)
+          let kept = Hashtbl.create 64 in
+          let bs =
+            let all = branches bias db rel_name in
+            if List.length all > config.max_branches then
+              List.filteri (fun i _ -> i < config.max_branches) all
+            else all
+          in
+          List.iter
+            (fun (bpos, oname, opos) ->
+              let feed =
+                List.fold_left
+                  (fun acc t -> Value.Set.add t.(bpos) acc)
+                  Value.Set.empty selected
+              in
+              let below = strat_rec oname opos feed (i + 1) in
+              let joined_values =
+                List.fold_left
+                  (fun acc t -> Value.Set.add t.(opos) acc)
+                  Value.Set.empty below
+              in
+              List.iter
+                (fun t ->
+                  if Value.Set.mem t.(bpos) joined_values then
+                    Hashtbl.replace kept t ())
+                selected)
+            bs;
+          (* Leaf-like contribution of this level too: sample the strata of
+             the selection so sparse relations keep representatives even
+             when no branch joins. *)
+          List.iter
+            (fun t -> Hashtbl.replace kept t ())
+            (sample_strata ~rng ~per_stratum:config.per_stratum
+               ~constant_positions selected);
+          let kept = Hashtbl.fold (fun t () acc -> t :: acc) kept [] in
+          List.iter (add rel_name) kept;
+          kept
+        end
+  in
+  (* Outer loop of Algorithm 4: every attribute of e, every relation with a
+     type-compatible, [+]-marked attribute. *)
+  Array.iteri
+    (fun apos v ->
+      List.iter
+        (fun rel ->
+          let rel_name = Relational.Relation.name rel in
+          let os = Relation.schema rel in
+          List.iter
+            (fun opos ->
+              if
+                Bias.Language.share_type bias target.Schema.rel_name apos
+                  rel_name opos
+                && List.exists
+                     (fun (m : Bias.Mode.t) ->
+                       List.mem opos (Bias.Mode.input_positions m))
+                     (Bias.Language.modes_of bias rel_name)
+              then
+                ignore
+                  (strat_rec rel_name opos (Value.Set.singleton v) 1))
+            (List.init (Schema.arity os) (fun p -> p)))
+        (Relational.Database.relations db))
+    example;
+  Hashtbl.fold (fun k () acc -> k :: acc) out [] |> List.sort compare

@@ -1,0 +1,26 @@
+(** Algorithm 4 of the paper, literally: stratified construction of the
+    relevant-tuple set I_e^s by depth-first traversal of the semi-join
+    structure, sampling [per_stratum] tuples per stratum at the leaves and
+    keeping joining tuples while backtracking.
+
+    {!Strategy.Stratified} applies the same stratification per bottom-clause
+    step (how the learner consumes it); this module is the standalone
+    set-level algorithm. *)
+
+type config = {
+  depth : int;  (** d: recursion depth *)
+  per_stratum : int;  (** s: tuples sampled per stratum *)
+  max_branches : int;  (** safety bound on (attribute, relation) branches *)
+}
+
+val default_config : config
+
+(** [collect ?config db bias ~rng ~example] is the paper's I_e^s as sorted
+    (relation name, tuple) pairs. *)
+val collect :
+  ?config:config ->
+  Relational.Database.t ->
+  Bias.Language.t ->
+  rng:Random.State.t ->
+  example:Relational.Relation.tuple ->
+  (string * Relational.Relation.tuple) list

@@ -1,0 +1,1 @@
+test/test_bias.ml: Alcotest Bias List Relational

@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Bias Datasets List Printf Random Relational

@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Bias Discovery Gen List Printf QCheck QCheck_alcotest Relational String

@@ -1,0 +1,1 @@
+test/test_evaluation.ml: Alcotest Array Autobias Baselines Bias Datasets Evaluation Filename Hashtbl Learning List Logic Option Random Relational String Sys

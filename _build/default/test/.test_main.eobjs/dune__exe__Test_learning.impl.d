@@ -1,0 +1,1 @@
+test/test_learning.ml: Alcotest Array Bias Datasets Learning List Logic Option Random Relational String

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Hashtbl List Logic Option Printf QCheck QCheck_alcotest Relational

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Datasets Gen Learning List Logic Printf QCheck QCheck_alcotest Random Relational Sampling

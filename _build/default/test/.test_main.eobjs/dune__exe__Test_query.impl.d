@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Baselines Bias Datasets Learning List Logic Random Relational String

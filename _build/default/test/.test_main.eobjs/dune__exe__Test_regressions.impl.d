@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Array Bias Datasets Learning List Logic Option Printf Random Relational Seq Unix

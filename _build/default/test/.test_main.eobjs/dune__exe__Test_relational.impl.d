@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Gen List QCheck QCheck_alcotest Relational

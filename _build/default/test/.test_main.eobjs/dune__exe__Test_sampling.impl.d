@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Datasets List Printf Random Relational Sampling

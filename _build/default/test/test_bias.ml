@@ -1,0 +1,159 @@
+(* Tests for the language-bias library: predicate definitions, modes, bias
+   parsing/validation, and the built-in Castor/NoConst biases. *)
+
+module Schema = Relational.Schema
+module Mode = Bias.Mode
+module Predicate_def = Bias.Predicate_def
+module Language = Bias.Language
+
+let uw_schema =
+  Schema.
+    [
+      relation "student" [| "stud" |];
+      relation "inPhase" [| "stud"; "phase" |];
+      relation "publication" [| "title"; "person" |];
+    ]
+
+let target = Schema.relation "advisedBy" [| "stud"; "prof" |]
+
+let mode_tests =
+  [
+    Alcotest.test_case "mode printing matches the paper's syntax" `Quick
+      (fun () ->
+        let m = Mode.make "inPhase" [| Mode.Input; Mode.Constant |] in
+        Alcotest.(check string) "syntax" "inPhase(+,#)" (Mode.to_string m));
+    Alcotest.test_case "symbol round-trip" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check string) s s
+              (Mode.symbol_to_string (Mode.symbol_of_string s)))
+          [ "+"; "-"; "#" ]);
+    Alcotest.test_case "input and constant positions" `Quick (fun () ->
+        let m = Mode.make "r" [| Mode.Output; Mode.Input; Mode.Constant |] in
+        Alcotest.(check (list int)) "inputs" [ 1 ] (Mode.input_positions m);
+        Alcotest.(check (list int)) "consts" [ 2 ] (Mode.constant_positions m);
+        Alcotest.(check bool) "has input" true (Mode.has_input m));
+  ]
+
+let predicate_def_tests =
+  [
+    Alcotest.test_case "types union across definitions" `Quick (fun () ->
+        let defs =
+          [
+            Predicate_def.make "publication" [| "T5"; "T1" |];
+            Predicate_def.make "publication" [| "T5"; "T3" |];
+          ]
+        in
+        let types = Predicate_def.types_of defs "publication" 1 in
+        Alcotest.(check (list string)) "both" [ "T1"; "T3" ]
+          (Bias.Util.String_set.elements types));
+    Alcotest.test_case "unknown attribute has empty type set" `Quick (fun () ->
+        Alcotest.(check bool) "empty" true
+          (Bias.Util.String_set.is_empty
+             (Predicate_def.types_of [] "nope" 0)));
+  ]
+
+let bias_text =
+  {|# the Table 3 fragment
+student(T1)
+inPhase(T1,T2)
+publication(T5,T1)
+advisedBy(T1,T3)
+student(+)
+inPhase(+,-)
+inPhase(+,#)
+publication(-,+)
+|}
+
+let parse_tests =
+  [
+    Alcotest.test_case "parse separates predicate and mode definitions" `Quick
+      (fun () ->
+        let b = Language.parse ~schema:uw_schema ~target bias_text in
+        Alcotest.(check int) "preds" 4 (List.length (Language.predicate_defs b));
+        Alcotest.(check int) "modes" 4 (List.length (Language.modes b));
+        Alcotest.(check int) "size" 8 (Language.size b));
+    Alcotest.test_case "parse/print round-trip" `Quick (fun () ->
+        let b = Language.parse ~schema:uw_schema ~target bias_text in
+        let b2 = Language.parse ~schema:uw_schema ~target (Language.to_string b) in
+        Alcotest.(check int) "same size" (Language.size b) (Language.size b2));
+    Alcotest.test_case "share_type follows predicate definitions" `Quick
+      (fun () ->
+        let b = Language.parse ~schema:uw_schema ~target bias_text in
+        Alcotest.(check bool) "stud/person share T1" true
+          (Language.share_type b "student" 0 "publication" 1);
+        Alcotest.(check bool) "stud/title don't" false
+          (Language.share_type b "student" 0 "publication" 0));
+    Alcotest.test_case "constant_allowed reflects # modes" `Quick (fun () ->
+        let b = Language.parse ~schema:uw_schema ~target bias_text in
+        Alcotest.(check bool) "phase yes" true (Language.constant_allowed b "inPhase" 1);
+        Alcotest.(check bool) "stud no" false (Language.constant_allowed b "inPhase" 0));
+    Alcotest.test_case "malformed lines raise Parse_error" `Quick (fun () ->
+        List.iter
+          (fun line ->
+            match Language.parse ~schema:uw_schema ~target line with
+            | exception Language.Parse_error _ -> ()
+            | _ -> Alcotest.fail ("should reject: " ^ line))
+          [ "student"; "student()"; "student(+" ]);
+  ]
+
+let validate_tests =
+  [
+    Alcotest.test_case "well-formed bias validates cleanly" `Quick (fun () ->
+        let b = Language.parse ~schema:uw_schema ~target bias_text in
+        Alcotest.(check (list string)) "no problems" [] (Language.validate b));
+    Alcotest.test_case "arity mismatches reported" `Quick (fun () ->
+        let b = Language.parse ~schema:uw_schema ~target "student(T1,T2)\nstudent(+,+)" in
+        Alcotest.(check int) "two problems" 2 (List.length (Language.validate b)));
+    Alcotest.test_case "unknown relation reported" `Quick (fun () ->
+        let b = Language.parse ~schema:uw_schema ~target "ghost(T1)" in
+        Alcotest.(check int) "one problem" 1 (List.length (Language.validate b)));
+    Alcotest.test_case "mode without + reported" `Quick (fun () ->
+        let b = Language.parse ~schema:uw_schema ~target "inPhase(-,-)" in
+        Alcotest.(check int) "one problem" 1 (List.length (Language.validate b)));
+  ]
+
+let builtin_tests =
+  [
+    Alcotest.test_case "modes_for_relation without constants" `Quick (fun () ->
+        let modes = Language.modes_for_relation "r" 3 [] in
+        (* one + rotation per attribute *)
+        Alcotest.(check int) "three" 3 (List.length modes);
+        List.iter
+          (fun m -> Alcotest.(check bool) "has +" true (Mode.has_input m))
+          modes);
+    Alcotest.test_case "modes_for_relation with constant attributes" `Quick
+      (fun () ->
+        let modes = Language.modes_for_relation "r" 3 [ 2 ] in
+        (* 3 plain + (subset {2}: + on 0 or 1) = 5 *)
+        Alcotest.(check int) "five" 5 (List.length modes);
+        let with_const =
+          List.filter (fun m -> Mode.constant_positions m <> []) modes
+        in
+        Alcotest.(check int) "two #" 2 (List.length with_const));
+    Alcotest.test_case "castor bias has one universal type" `Quick (fun () ->
+        let b = Language.castor ~schema:uw_schema ~target in
+        Alcotest.(check bool) "all joinable" true
+          (Language.share_type b "student" 0 "publication" 0);
+        Alcotest.(check bool) "constants allowed everywhere" true
+          (Language.constant_allowed b "inPhase" 1);
+        Alcotest.(check (list string)) "valid" [] (Language.validate b));
+    Alcotest.test_case "no_const bias forbids constants" `Quick (fun () ->
+        let b = Language.no_const ~schema:uw_schema ~target in
+        Alcotest.(check bool) "no #" true
+          (List.for_all
+             (fun (m : Mode.t) -> Mode.constant_positions m = [])
+             (Language.modes b));
+        Alcotest.(check (list string)) "valid" [] (Language.validate b));
+    Alcotest.test_case "power_set respects the cap" `Quick (fun () ->
+        let full = Bias.Util.power_set [ 1; 2; 3 ] in
+        Alcotest.(check int) "2^3" 8 (List.length full);
+        let capped = Bias.Util.power_set ~cap:2 [ 1; 2; 3; 4 ] in
+        (* subsets of first 2 (4) + singletons of the rest (2) *)
+        Alcotest.(check int) "capped" 6 (List.length capped);
+        Alcotest.(check bool) "truncated" true
+          (Bias.Util.power_set_truncated ~cap:2 [ 1; 2; 3; 4 ]));
+  ]
+
+let suite =
+  mode_tests @ predicate_def_tests @ parse_tests @ validate_tests @ builtin_tests

@@ -1,0 +1,248 @@
+(* Tests for the synthetic dataset generators: schema shapes, label
+   semantics of the planted rules, scaling, determinism, and the shipped
+   manual biases. *)
+
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Dataset = Datasets.Dataset
+
+let generators =
+  [
+    ("uw", fun ~seed ~scale () -> Datasets.Uw.generate ~seed ~scale ());
+    ("imdb", fun ~seed ~scale () -> Datasets.Imdb.generate ~seed ~scale ());
+    ("hiv", fun ~seed ~scale () -> Datasets.Hiv.generate ~seed ~scale ());
+    ("flt", fun ~seed ~scale () -> Datasets.Flt.generate ~seed ~scale ());
+    ("sys", fun ~seed ~scale () -> Datasets.Sys_data.generate ~seed ~scale ());
+  ]
+
+let generic_tests =
+  List.concat_map
+    (fun (name, gen) ->
+      [
+        Alcotest.test_case (name ^ ": examples are disjoint and non-empty")
+          `Quick (fun () ->
+            let d = gen ~seed:3 ~scale:0.2 () in
+            Alcotest.(check bool) "has positives" true (d.Dataset.positives <> []);
+            Alcotest.(check bool) "has negatives" true (d.Dataset.negatives <> []);
+            let pos = List.sort_uniq compare d.Dataset.positives in
+            let neg = List.sort_uniq compare d.Dataset.negatives in
+            Alcotest.(check int) "positives unique"
+              (List.length d.Dataset.positives) (List.length pos);
+            List.iter
+              (fun p ->
+                Alcotest.(check bool) "not also negative" false (List.mem p neg))
+              pos);
+        Alcotest.test_case (name ^ ": manual bias validates against the schema")
+          `Quick (fun () ->
+            let d = gen ~seed:3 ~scale:0.2 () in
+            Alcotest.(check (list string)) "no problems" []
+              (Bias.Language.validate d.Dataset.manual_bias));
+        Alcotest.test_case (name ^ ": examples match the target arity") `Quick
+          (fun () ->
+            let d = gen ~seed:3 ~scale:0.2 () in
+            let arity = Relational.Schema.arity d.Dataset.target in
+            List.iter
+              (fun e -> Alcotest.(check int) "arity" arity (Array.length e))
+              (d.Dataset.positives @ d.Dataset.negatives));
+        Alcotest.test_case (name ^ ": generation is deterministic per seed")
+          `Quick (fun () ->
+            let d1 = gen ~seed:11 ~scale:0.2 () in
+            let d2 = gen ~seed:11 ~scale:0.2 () in
+            Alcotest.(check int) "same tuples"
+              (Database.total_tuples d1.Dataset.db)
+              (Database.total_tuples d2.Dataset.db);
+            Alcotest.(check bool) "same positives" true
+              (d1.Dataset.positives = d2.Dataset.positives));
+        Alcotest.test_case (name ^ ": scale grows the database") `Quick
+          (fun () ->
+            let small = gen ~seed:3 ~scale:0.2 () in
+            let large = gen ~seed:3 ~scale:0.6 () in
+            Alcotest.(check bool) "bigger" true
+              (Database.total_tuples large.Dataset.db
+              > Database.total_tuples small.Dataset.db));
+      ])
+    generators
+
+(* Label-semantics checks: the planted rule must hold for (most) positives
+   and fail for (most) negatives, with the documented noise rates. *)
+
+let uw_semantics =
+  Alcotest.test_case "uw: most positives have a trace, few negatives do"
+    `Quick (fun () ->
+      let d = Datasets.Uw.generate ~seed:3 ~scale:1.0 () in
+      let db = d.Dataset.db in
+      let publication = Database.find db "publication" in
+      let ta = Database.find db "ta" in
+      let taught_by = Database.find db "taughtBy" in
+      (* co-authorship: a (title, s) tuple whose title also appears with p *)
+      let co_pub s p =
+        List.exists
+          (fun t ->
+            List.exists
+              (fun t' -> Value.equal t'.(1) p)
+              (Relation.lookup publication 0 t.(0)))
+          (Relation.lookup publication 1 s)
+      in
+      let taship s p =
+        List.exists
+          (fun t ->
+            List.exists
+              (fun t' -> Value.equal t'.(1) p)
+              (Relation.lookup taught_by 0 t.(0)))
+          (Relation.lookup ta 1 s)
+      in
+      let frac examples =
+        let n = List.length examples in
+        let hits =
+          List.length
+            (List.filter (fun e -> co_pub e.(0) e.(1) || taship e.(0) e.(1)) examples)
+        in
+        float_of_int hits /. float_of_int (max 1 n)
+      in
+      let pos_frac = frac d.Dataset.positives in
+      let neg_frac = frac d.Dataset.negatives in
+      Alcotest.(check bool)
+        (Printf.sprintf "pos %.2f > 0.45" pos_frac) true (pos_frac > 0.45);
+      Alcotest.(check bool)
+        (Printf.sprintf "neg %.2f < 0.25" neg_frac) true (neg_frac < 0.25))
+
+let imdb_semantics =
+  Alcotest.test_case "imdb: positives directed a drama, negatives did not"
+    `Quick (fun () ->
+      let d = Datasets.Imdb.generate ~seed:3 ~scale:0.5 () in
+      let db = d.Dataset.db in
+      let directed_by = Database.find db "directedBy" in
+      let genre = Database.find db "genre" in
+      let directs_drama dir =
+        List.exists
+          (fun t ->
+            List.exists
+              (fun g -> Value.equal g.(1) (Value.str "drama"))
+              (Relation.lookup genre 0 t.(0)))
+          (Relation.lookup directed_by 1 dir)
+      in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "positive has drama" true (directs_drama e.(0)))
+        d.Dataset.positives;
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "negative has none" false (directs_drama e.(0)))
+        d.Dataset.negatives)
+
+let hiv_semantics =
+  Alcotest.test_case "hiv: pharmacophore separates the classes noisily" `Quick
+    (fun () ->
+      let d = Datasets.Hiv.generate ~seed:3 ~scale:0.5 () in
+      let db = d.Dataset.db in
+      let atm = Database.find db "atm" in
+      let bond = Database.find db "bond" in
+      let has_group comp =
+        let atoms_of e =
+          List.filter
+            (fun t -> Value.equal t.(2) (Value.str e))
+            (Relation.lookup atm 0 comp)
+        in
+        let ns = atoms_of "n" and os = atoms_of "o" in
+        List.exists
+          (fun b ->
+            Value.equal b.(3) (Value.str "double")
+            && List.exists (fun t -> Value.equal t.(1) b.(1)) ns
+            && List.exists (fun t -> Value.equal t.(1) b.(2)) os)
+          (Relation.lookup bond 0 comp)
+      in
+      let frac examples =
+        float_of_int
+          (List.length (List.filter (fun e -> has_group e.(0)) examples))
+        /. float_of_int (max 1 (List.length examples))
+      in
+      let pos = frac d.Dataset.positives and neg = frac d.Dataset.negatives in
+      Alcotest.(check bool) (Printf.sprintf "pos %.2f > 0.8" pos) true (pos > 0.8);
+      Alcotest.(check bool) (Printf.sprintf "neg %.2f < 0.15" neg) true (neg < 0.15))
+
+let flt_semantics =
+  Alcotest.test_case "flt: positives share src and dst, negatives do not"
+    `Quick (fun () ->
+      let d = Datasets.Flt.generate ~seed:3 ~scale:0.5 () in
+      let flight = Database.find d.Dataset.db "flight" in
+      let route f =
+        match Relation.lookup flight 0 f with
+        | [ t ] -> (t.(1), t.(2))
+        | _ -> Alcotest.fail "flight ids unique"
+      in
+      List.iter
+        (fun e -> Alcotest.(check bool) "same route" true (route e.(0) = route e.(1)))
+        d.Dataset.positives;
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "different route" false (route e.(0) = route e.(1)))
+        d.Dataset.negatives)
+
+let sys_semantics =
+  Alcotest.test_case "sys: two-event pattern has high precision, partial recall"
+    `Quick (fun () ->
+      let d = Datasets.Sys_data.generate ~seed:3 ~scale:1.0 () in
+      let event = Database.find d.Dataset.db "event" in
+      let has p op cls =
+        List.exists
+          (fun t ->
+            Value.equal t.(1) (Value.str op) && Value.equal t.(2) (Value.str cls))
+          (Relation.lookup event 0 p)
+      in
+      let pattern p = has p "write" "system" && has p "exec" "shell" in
+      let tp = List.length (List.filter (fun e -> pattern e.(0)) d.Dataset.positives) in
+      let fp = List.length (List.filter (fun e -> pattern e.(0)) d.Dataset.negatives) in
+      let recall = float_of_int tp /. float_of_int (List.length d.Dataset.positives) in
+      let precision = float_of_int tp /. float_of_int (max 1 (tp + fp)) in
+      Alcotest.(check bool) (Printf.sprintf "recall %.2f in [0.4,0.7]" recall)
+        true (recall >= 0.4 && recall <= 0.7);
+      Alcotest.(check bool) (Printf.sprintf "precision %.2f > 0.75" precision)
+        true (precision > 0.75))
+
+let table4_tests =
+  [
+    Alcotest.test_case "table4 fragment matches the paper" `Quick (fun () ->
+        let db = Datasets.Uw.table4_fragment () in
+        Alcotest.(check int) "9 relations" 9
+          (List.length (Database.relations db));
+        Alcotest.(check int) "12 tuples" 12 (Database.total_tuples db);
+        let pub = Database.find db "publication" in
+        Alcotest.(check int) "p1 authors" 2
+          (List.length (Relation.lookup pub 0 (Value.str "p1"))));
+  ]
+
+let suite =
+  generic_tests
+  @ [ uw_semantics; imdb_semantics; hiv_semantics; flt_semantics; sys_semantics ]
+  @ table4_tests
+
+let noise_tests =
+  [
+    Alcotest.test_case "flip_labels preserves totals and moves the fraction"
+      `Quick (fun () ->
+        let d = Datasets.Uw.generate ~scale:0.5 () in
+        let rng = Random.State.make [| 7 |] in
+        let noisy = Datasets.Dataset.flip_labels ~rng ~fraction:0.2 d in
+        Alcotest.(check int) "total preserved"
+          (List.length d.Dataset.positives + List.length d.Dataset.negatives)
+          (List.length noisy.Dataset.positives + List.length noisy.Dataset.negatives);
+        let moved =
+          List.length
+            (List.filter
+               (fun e -> List.mem e d.Dataset.negatives)
+               noisy.Dataset.positives)
+        in
+        Alcotest.(check int) "20% of negatives now positive"
+          (int_of_float (0.2 *. float_of_int (List.length d.Dataset.negatives)))
+          moved);
+    Alcotest.test_case "zero noise is a permutation" `Quick (fun () ->
+        let d = Datasets.Uw.generate ~scale:0.5 () in
+        let rng = Random.State.make [| 7 |] in
+        let same = Datasets.Dataset.flip_labels ~rng ~fraction:0.0 d in
+        Alcotest.(check bool) "same positive set" true
+          (List.sort compare same.Dataset.positives
+          = List.sort compare d.Dataset.positives));
+  ]
+
+let suite = suite @ noise_tests

@@ -1,0 +1,457 @@
+(* Tests for IND discovery (exact + approximate), the type graph
+   (Algorithm 3), and bias generation (Section 3). *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Ind = Discovery.Ind
+module Type_graph = Discovery.Type_graph
+module Generate = Discovery.Generate
+module String_set = Bias.Util.String_set
+
+let v = Value.str
+
+(* A miniature UW-like database exhibiting the paper's motivating case:
+   publication[person] mixes students and professors, so no exact IND links
+   it to either, but approximate INDs (error ≤ 0.5) do. *)
+let mini_db () =
+  let student =
+    Relation.of_tuples (Schema.relation "student" [| "stud" |])
+      [ [| v "s1" |]; [| v "s2" |]; [| v "s3" |]; [| v "s4" |] ]
+  in
+  let professor =
+    Relation.of_tuples (Schema.relation "professor" [| "prof" |])
+      [ [| v "p1" |]; [| v "p2" |] ]
+  in
+  let in_phase =
+    Relation.of_tuples (Schema.relation "inPhase" [| "stud"; "phase" |])
+      [ [| v "s1"; v "pre" |]; [| v "s2"; v "post" |]; [| v "s3"; v "pre" |];
+        [| v "s4"; v "abd" |] ]
+  in
+  let publication =
+    Relation.of_tuples (Schema.relation "publication" [| "title"; "person" |])
+      [ [| v "t1"; v "s1" |]; [| v "t1"; v "p1" |]; [| v "t2"; v "s2" |];
+        [| v "t2"; v "p2" |] ]
+  in
+  Database.of_relations [ student; professor; in_phase; publication ]
+
+let find_ind inds sub sup =
+  List.find_opt
+    (fun (i : Ind.t) ->
+      Schema.equal_attribute i.Ind.sub sub && Schema.equal_attribute i.Ind.sup sup)
+    inds
+
+let ind_tests =
+  [
+    Alcotest.test_case "exact INDs discovered" `Quick (fun () ->
+        let inds = Ind.discover (mini_db ()) ~extra:[] in
+        (* inPhase[stud] ⊆ student[stud] holds exactly. *)
+        match find_ind inds (Schema.attr "inPhase" "stud") (Schema.attr "student" "stud") with
+        | Some ind -> Alcotest.(check bool) "exact" true (Ind.is_exact ind)
+        | None -> Alcotest.fail "missing exact IND");
+    Alcotest.test_case "approximate IND for the mixed person column" `Quick
+      (fun () ->
+        let inds = Ind.discover (mini_db ()) ~extra:[] in
+        (* person = {s1,p1,s2,p2}: half students, half professors. *)
+        match
+          find_ind inds (Schema.attr "publication" "person") (Schema.attr "student" "stud")
+        with
+        | Some ind ->
+            Alcotest.(check bool) "approximate" false (Ind.is_exact ind);
+            Alcotest.(check (float 1e-9)) "error 0.5" 0.5 ind.Ind.error
+        | None -> Alcotest.fail "missing approximate IND");
+    Alcotest.test_case "disjoint columns produce no IND" `Quick (fun () ->
+        let inds = Ind.discover (mini_db ()) ~extra:[] in
+        Alcotest.(check bool) "no phase⊆stud" true
+          (find_ind inds (Schema.attr "inPhase" "phase") (Schema.attr "student" "stud")
+          = None));
+    Alcotest.test_case "tighter max_error filters approximate INDs" `Quick
+      (fun () ->
+        let config = { Ind.default_config with max_error = 0.1 } in
+        let inds = Ind.discover ~config (mini_db ()) ~extra:[] in
+        Alcotest.(check bool) "no 0.5-error IND" true
+          (find_ind inds
+             (Schema.attr "publication" "person")
+             (Schema.attr "student" "stud")
+          = None));
+    Alcotest.test_case "extra relations participate (target typing)" `Quick
+      (fun () ->
+        let advised =
+          Relation.of_tuples (Schema.relation "advisedBy" [| "stud"; "prof" |])
+            [ [| v "s1"; v "p1" |]; [| v "s2"; v "p2" |] ]
+        in
+        let inds = Ind.discover (mini_db ()) ~extra:[ advised ] in
+        match
+          find_ind inds (Schema.attr "advisedBy" "stud") (Schema.attr "student" "stud")
+        with
+        | Some ind -> Alcotest.(check bool) "exact" true (Ind.is_exact ind)
+        | None -> Alcotest.fail "target column not typed");
+    Alcotest.test_case "symmetric approximate pairs keep the lower error" `Quick
+      (fun () ->
+        let a = Schema.attr "r" "a" and b = Schema.attr "s" "b" in
+        let inds =
+          [
+            { Ind.sub = a; sup = b; error = 0.2 };
+            { Ind.sub = b; sup = a; error = 0.4 };
+          ]
+        in
+        match Ind.keep_lower_of_symmetric inds with
+        | [ kept ] ->
+            Alcotest.(check (float 1e-9)) "kept 0.2" 0.2 kept.Ind.error
+        | l -> Alcotest.failf "expected 1 IND, got %d" (List.length l));
+    Alcotest.test_case "exact INDs never dropped by symmetry rule" `Quick
+      (fun () ->
+        let a = Schema.attr "r" "a" and b = Schema.attr "s" "b" in
+        let inds =
+          [
+            { Ind.sub = a; sup = b; error = 0. };
+            { Ind.sub = b; sup = a; error = 0. };
+          ]
+        in
+        Alcotest.(check int) "both kept" 2
+          (List.length (Ind.keep_lower_of_symmetric inds)));
+  ]
+
+(* Property: discovery agrees with the direct Ops.ind_error definition. *)
+let ind_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"discovered errors match Ops.ind_error" ~count:50
+       QCheck.(pair (list_of_size Gen.(int_range 1 30) (int_bound 8))
+                 (list_of_size Gen.(int_range 1 30) (int_bound 8)))
+       (fun (xs, ys) ->
+         let mk name vals =
+           Relation.of_tuples (Schema.relation name [| "a" |])
+             (List.map (fun x -> [| Value.int x |]) vals)
+         in
+         let r = mk "r" xs and s = mk "s" ys in
+         let db = Database.of_relations [ r; s ] in
+         let inds = Ind.discover ~config:{ Ind.default_config with max_error = 1.0; min_overlap = 1 } db ~extra:[] in
+         let direct = Relational.Ops.ind_error r 0 s 0 in
+         match find_ind inds (Schema.attr "r" "a") (Schema.attr "s" "a") with
+         | Some ind -> abs_float (ind.Ind.error -. direct) < 1e-9
+         | None -> direct > 1.0 (* never: max_error 1.0 accepts everything *)))
+
+let type_graph_tests =
+  [
+    Alcotest.test_case "sink nodes get fresh types" `Quick (fun () ->
+        let a = Schema.attr "r" "a" and b = Schema.attr "s" "b" in
+        let g =
+          Type_graph.build ~attributes:[ a; b ]
+            [ { Ind.sub = a; sup = b; error = 0. } ]
+        in
+        let tb = Type_graph.types_of g b in
+        Alcotest.(check int) "b typed" 1 (String_set.cardinal tb));
+    Alcotest.test_case "types propagate against edge direction" `Quick (fun () ->
+        let a = Schema.attr "r" "a" and b = Schema.attr "s" "b" in
+        let g =
+          Type_graph.build ~attributes:[ a; b ]
+            [ { Ind.sub = a; sup = b; error = 0. } ]
+        in
+        Alcotest.(check bool) "a inherits b's type" true
+          (String_set.equal (Type_graph.types_of g a) (Type_graph.types_of g b)));
+    Alcotest.test_case "chains propagate transitively over exact edges" `Quick
+      (fun () ->
+        let a = Schema.attr "r" "a"
+        and b = Schema.attr "s" "b"
+        and c = Schema.attr "t" "c" in
+        let g =
+          Type_graph.build ~attributes:[ a; b; c ]
+            [
+              { Ind.sub = a; sup = b; error = 0. };
+              { Ind.sub = b; sup = c; error = 0. };
+            ]
+        in
+        Alcotest.(check bool) "a gets c's type" true
+          (String_set.subset (Type_graph.types_of g c) (Type_graph.types_of g a)));
+    Alcotest.test_case "cycles share one type" `Quick (fun () ->
+        let a = Schema.attr "r" "a" and b = Schema.attr "s" "b" in
+        let g =
+          Type_graph.build ~attributes:[ a; b ]
+            [
+              { Ind.sub = a; sup = b; error = 0. };
+              { Ind.sub = b; sup = a; error = 0. };
+            ]
+        in
+        Alcotest.(check bool) "same types" true
+          (String_set.equal (Type_graph.types_of g a) (Type_graph.types_of g b));
+        Alcotest.(check bool) "nonempty" false
+          (String_set.is_empty (Type_graph.types_of g a)));
+    Alcotest.test_case "types cross at most one approximate edge" `Quick
+      (fun () ->
+        (* a ┄⊆┄ b ┄⊆┄ c: c's type reaches b (one approximate hop) but must
+           not continue to a. *)
+        let a = Schema.attr "r" "a"
+        and b = Schema.attr "s" "b"
+        and c = Schema.attr "t" "c" in
+        let g =
+          Type_graph.build ~attributes:[ a; b; c ]
+            [
+              { Ind.sub = a; sup = b; error = 0.3 };
+              { Ind.sub = b; sup = c; error = 0.3 };
+            ]
+        in
+        let ta = Type_graph.types_of g a
+        and tc = Type_graph.types_of g c in
+        Alcotest.(check bool) "b has c's type" true
+          (String_set.subset tc (Type_graph.types_of g b));
+        Alcotest.(check bool) "a does not" false (String_set.subset tc ta));
+    Alcotest.test_case "approximate-then-exact still propagates" `Quick
+      (fun () ->
+        (* a ⊆ b (exact), b ┄⊆┄ c: c's type crosses the approximate edge to
+           b, then the exact edge to a. *)
+        let a = Schema.attr "r" "a"
+        and b = Schema.attr "s" "b"
+        and c = Schema.attr "t" "c" in
+        let g =
+          Type_graph.build ~attributes:[ a; b; c ]
+            [
+              { Ind.sub = a; sup = b; error = 0. };
+              { Ind.sub = b; sup = c; error = 0.3 };
+            ]
+        in
+        Alcotest.(check bool) "a gets c's type" true
+          (String_set.subset (Type_graph.types_of g c) (Type_graph.types_of g a)));
+    Alcotest.test_case "the paper's publication[person] case" `Quick (fun () ->
+        (* Figure 1: person approximately included in both student[stud] and
+           professor[prof]; it must inherit both types. *)
+        let person = Schema.attr "publication" "person"
+        and stud = Schema.attr "student" "stud"
+        and prof = Schema.attr "professor" "prof" in
+        let g =
+          Type_graph.build ~attributes:[ person; stud; prof ]
+            [
+              { Ind.sub = person; sup = stud; error = 0.4 };
+              { Ind.sub = person; sup = prof; error = 0.5 };
+            ]
+        in
+        let expected =
+          String_set.union (Type_graph.types_of g stud) (Type_graph.types_of g prof)
+        in
+        Alcotest.(check bool) "person has both" true
+          (String_set.subset expected (Type_graph.types_of g person));
+        Alcotest.(check int) "stud and prof differ" 2
+          (String_set.cardinal expected));
+    Alcotest.test_case "DOT rendering mentions every node and edge style" `Quick
+      (fun () ->
+        let a = Schema.attr "r" "a" and b = Schema.attr "s" "b" in
+        let g =
+          Type_graph.build ~attributes:[ a; b ]
+            [ { Ind.sub = a; sup = b; error = 0.25 } ]
+        in
+        let dot = Type_graph.to_dot g in
+        let contains needle haystack =
+          let nl = String.length needle and hl = String.length haystack in
+          let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "node" true (contains "r[a]" dot);
+        Alcotest.(check bool) "dashed" true (contains "style=dashed" dot));
+  ]
+
+let generate_tests =
+  [
+    Alcotest.test_case "constant_positions honours absolute threshold" `Quick
+      (fun () ->
+        let rel =
+          Relation.of_tuples (Schema.relation "r" [| "id"; "tag" |])
+            (List.init 20 (fun i ->
+                 [| v (Printf.sprintf "id%d" i); v (if i mod 2 = 0 then "a" else "b") |]))
+        in
+        Alcotest.(check (list int)) "tag only" [ 1 ]
+          (Generate.constant_positions ~threshold:(Generate.Absolute 5) rel));
+    Alcotest.test_case "constant_positions honours relative threshold" `Quick
+      (fun () ->
+        let rel =
+          Relation.of_tuples (Schema.relation "r" [| "id"; "tag" |])
+            (List.init 20 (fun i ->
+                 [| v (Printf.sprintf "id%d" i); v (if i mod 2 = 0 then "a" else "b") |]))
+        in
+        (* tag: 2 distinct / 20 = 0.1 < 0.18; id: 20/20 = 1.0 *)
+        Alcotest.(check (list int)) "tag only" [ 1 ]
+          (Generate.constant_positions ~threshold:(Generate.Relative 0.18) rel));
+    Alcotest.test_case "predicate defs are the Cartesian product of types"
+      `Quick (fun () ->
+        (* publication(title:{T5}, person:{T1,T3}) must yield exactly the
+           paper's two definitions. *)
+        let person = Schema.attr "publication" "person"
+        and title = Schema.attr "publication" "title"
+        and stud = Schema.attr "student" "stud"
+        and prof = Schema.attr "professor" "prof" in
+        let g =
+          Type_graph.build ~attributes:[ person; title; stud; prof ]
+            [
+              { Ind.sub = person; sup = stud; error = 0.4 };
+              { Ind.sub = person; sup = prof; error = 0.5 };
+            ]
+        in
+        let defs =
+          Generate.predicate_defs ~graph:g
+            [ Schema.relation "publication" [| "title"; "person" |] ]
+        in
+        Alcotest.(check int) "two defs" 2 (List.length defs));
+    Alcotest.test_case "full induction on the mini UW database" `Quick
+      (fun () ->
+        let db = mini_db () in
+        let target = Schema.relation "advisedBy" [| "stud"; "prof" |] in
+        let result =
+          (* the mini database is tiny, so use an absolute constant
+             threshold: phase has 3 distinct values *)
+          Generate.induce ~threshold:(Generate.Absolute 4) db ~target
+            ~positive_examples:[ [| v "s1"; v "p1" |]; [| v "s2"; v "p2" |] ]
+        in
+        let bias = result.Generate.bias in
+        Alcotest.(check (list string)) "bias validates" []
+          (Bias.Language.validate bias);
+        (* The motivating join must be enabled: student[stud] and
+           publication[person] share a type. *)
+        Alcotest.(check bool) "stud ~ person" true
+          (Bias.Language.share_type bias "student" 0 "publication" 1);
+        (* phase is low-cardinality: some mode allows it as a constant. *)
+        Alcotest.(check bool) "phase constant" true
+          (Bias.Language.constant_allowed bias "inPhase" 1));
+    Alcotest.test_case "ablation: no approximate INDs loses the mixed join"
+      `Quick (fun () ->
+        let db = mini_db () in
+        let target = Schema.relation "advisedBy" [| "stud"; "prof" |] in
+        let result =
+          Generate.induce
+            ~ind_config:{ Ind.default_config with max_error = 0. } db ~target
+            ~positive_examples:[ [| v "s1"; v "p1" |] ]
+        in
+        Alcotest.(check bool) "stud !~ person" false
+          (Bias.Language.share_type result.Generate.bias "student" 0 "publication" 1));
+  ]
+
+let suite = ind_tests @ [ ind_property ] @ type_graph_tests @ generate_tests
+
+let overlap_tests =
+  [
+    Alcotest.test_case "overlap typing fuses unrelated domains (the [34] flaw)"
+      `Quick (fun () ->
+        (* A junk column holding one student id and one phase name: under
+           single-element-overlap typing it fuses the student and phase
+           domains into one type, letting inPhase[phase] join student[stud].
+           AutoBias's approximate INDs reject the weak inclusions in the
+           phase direction, so the domains stay apart. *)
+        let note =
+          Relation.of_tuples (Schema.relation "note" [| "code" |])
+            [ [| v "s1" |]; [| v "pre" |] ]
+        in
+        let db = mini_db () in
+        Database.add_relation db note;
+        let target = Schema.relation "advisedBy" [| "stud"; "prof" |] in
+        let pos = [ [| v "s1"; v "p1" |] ] in
+        let overlap =
+          Discovery.Overlap_bias.induce ~threshold:(Generate.Absolute 4) db
+            ~target ~positive_examples:pos
+        in
+        Alcotest.(check bool) "stud ~ phase under overlap" true
+          (Bias.Language.share_type overlap "student" 0 "inPhase" 1);
+        let auto =
+          (Generate.induce ~threshold:(Generate.Absolute 4) db ~target
+             ~positive_examples:pos).Generate.bias
+        in
+        Alcotest.(check bool) "stud !~ phase under AutoBias" false
+          (Bias.Language.share_type auto "student" 0 "inPhase" 1);
+        (* and the overlap hypothesis space is at least as large overall *)
+        Alcotest.(check bool) "no fewer joinable pairs" true
+          (Discovery.Overlap_bias.joinable_pairs overlap
+          >= Discovery.Overlap_bias.joinable_pairs auto));
+    Alcotest.test_case "overlap typing is deterministic and complete" `Quick
+      (fun () ->
+        let db = mini_db () in
+        let t1 = Discovery.Overlap_bias.type_components db ~extra:[] in
+        let t2 = Discovery.Overlap_bias.type_components db ~extra:[] in
+        Alcotest.(check bool) "same" true (t1 = t2);
+        Alcotest.(check int) "all 6 attributes typed" 6 (List.length t1));
+  ]
+
+let suite = suite @ overlap_tests
+
+(* Property tests over random IND sets. *)
+let graph_properties =
+  let attr_gen =
+    QCheck.Gen.(
+      let* r = int_bound 3 in
+      let* a = int_bound 1 in
+      return (Schema.attr (Printf.sprintf "r%d" r) (Printf.sprintf "a%d" a)))
+  in
+  let ind_gen =
+    QCheck.Gen.(
+      let* sub = attr_gen in
+      let* sup = attr_gen in
+      let* exact = bool in
+      return { Ind.sub; sup; error = (if exact then 0. else 0.3) })
+  in
+  let inds_gen = QCheck.Gen.(list_size (int_range 0 10) ind_gen) in
+  let attrs =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun a -> Schema.attr (Printf.sprintf "r%d" r) (Printf.sprintf "a%d" a))
+          [ 0; 1 ])
+      [ 0; 1; 2; 3 ]
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"sink attributes are always typed; exact-only graphs type all"
+         ~count:200 (QCheck.make inds_gen)
+         (fun inds ->
+           (* A node can legitimately end up untyped when its only route to a
+              seed crosses two approximate edges (the single-hop rule); with
+              exact edges only, every node reaches a sink or cycle and is
+              typed. Sinks are typed unconditionally. *)
+           let inds =
+             List.filter (fun i -> not (Schema.equal_attribute i.Ind.sub i.Ind.sup)) inds
+           in
+           let g = Type_graph.build ~attributes:attrs inds in
+           let has_outgoing a =
+             List.exists (fun e -> Schema.equal_attribute e.Type_graph.src a)
+               (Type_graph.edges g)
+           in
+           let sinks_typed =
+             List.for_all
+               (fun a ->
+                 has_outgoing a
+                 || not (String_set.is_empty (Type_graph.types_of g a)))
+               attrs
+           in
+           let exact_only =
+             List.map (fun i -> { i with Ind.error = 0. }) inds
+           in
+           let g2 = Type_graph.build ~attributes:attrs exact_only in
+           let all_typed_exact =
+             List.for_all
+               (fun a -> not (String_set.is_empty (Type_graph.types_of g2 a)))
+               attrs
+           in
+           sinks_typed && all_typed_exact));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"type-graph construction is deterministic"
+         ~count:100 (QCheck.make inds_gen)
+         (fun inds ->
+           let inds =
+             List.filter (fun i -> not (Schema.equal_attribute i.Ind.sub i.Ind.sup)) inds
+           in
+           let g1 = Type_graph.build ~attributes:attrs inds in
+           let g2 = Type_graph.build ~attributes:attrs inds in
+           List.for_all
+             (fun a ->
+               String_set.equal (Type_graph.types_of g1 a) (Type_graph.types_of g2 a))
+             attrs));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"exact-IND subsets propagate the supertype (local soundness)"
+         ~count:200 (QCheck.make ind_gen)
+         (fun ind ->
+           QCheck.assume (not (Schema.equal_attribute ind.Ind.sub ind.Ind.sup));
+           let ind = { ind with Ind.error = 0. } in
+           let g = Type_graph.build ~attributes:attrs [ ind ] in
+           String_set.subset
+             (Type_graph.types_of g ind.Ind.sup)
+             (Type_graph.types_of g ind.Ind.sub)));
+  ]
+
+let suite = suite @ graph_properties

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "autobias"
+    [
+      ("relational", Test_relational.suite);
+      ("logic", Test_logic.suite);
+      ("bias", Test_bias.suite);
+      ("discovery", Test_discovery.suite);
+      ("sampling", Test_sampling.suite);
+      ("learning", Test_learning.suite);
+      ("datasets", Test_datasets.suite);
+      ("evaluation", Test_evaluation.suite);
+      ("query", Test_query.suite);
+      ("properties", Test_properties.suite);
+      ("regressions", Test_regressions.suite);
+    ]

@@ -1,0 +1,178 @@
+(* Tests for query-based coverage (Section 5's rejected alternative), the
+   inference module, and the Progol-style baseline. *)
+
+module Value = Relational.Value
+module Query = Learning.Query
+module Inference = Learning.Inference
+
+let v = Value.str
+let db () = Datasets.Uw.table4_fragment ()
+
+let clause = Logic.Parser.clause
+
+let query_tests =
+  [
+    Alcotest.test_case "query coverage agrees with the running example" `Quick
+      (fun () ->
+        let db = db () in
+        let c = clause "advisedBy(X,Y) :- publication(Z,X), publication(Z,Y)" in
+        Alcotest.(check bool) "juan/sarita" true
+          (Query.covers db c [| v "juan"; v "sarita" |]);
+        Alcotest.(check bool) "juan/mary" false
+          (Query.covers db c [| v "juan"; v "mary" |]));
+    Alcotest.test_case "query coverage handles constants in the body" `Quick
+      (fun () ->
+        let db = db () in
+        let c = clause "advisedBy(X,Y) :- inPhase(X,post_quals), professor(Y)" in
+        Alcotest.(check bool) "covers" true
+          (Query.covers db c [| v "juan"; v "sarita" |]);
+        let c2 = clause "advisedBy(X,Y) :- inPhase(X,abd), professor(Y)" in
+        Alcotest.(check bool) "wrong phase" false
+          (Query.covers db c2 [| v "juan"; v "sarita" |]));
+    Alcotest.test_case "unknown relations never match" `Quick (fun () ->
+        let db = db () in
+        let c = clause "advisedBy(X,Y) :- ghost(X)" in
+        Alcotest.(check bool) "no" false
+          (Query.covers db c [| v "juan"; v "sarita" |]));
+    Alcotest.test_case "budget exhaustion reports non-coverage" `Quick
+      (fun () ->
+        let db = db () in
+        let c = clause
+            "advisedBy(X,Y) :- publication(A,B), publication(C,D), publication(E,F), publication(G,H)"
+        in
+        Alcotest.(check bool) "budget 1 fails closed" false
+          (Query.covers ~config:{ Query.node_budget = 1 } db c
+             [| v "juan"; v "sarita" |]));
+    Alcotest.test_case
+      "query coverage and subsumption coverage agree on learned clauses"
+      `Slow (fun () ->
+        (* The two coverage engines answer the same question: subsumption
+           works against sampled ground BCs, queries against the full
+           database. For selective clauses over the Table 4 fragment (tiny,
+           so no sampling loss) they must agree on every example. *)
+        let db = db () in
+        let bias =
+          Bias.Language.parse ~schema:Datasets.Uw.schemas
+            ~target:Datasets.Uw.target_schema
+            "advisedBy(T1,T3)\nstudent(T1)\nprofessor(T3)\npublication(T5,T1)\npublication(T5,T3)\nstudent(+)\nprofessor(+)\npublication(-,+)\npublication(+,-)"
+        in
+        let rng = Random.State.make [| 1 |] in
+        let cov =
+          Learning.Coverage.create
+            ~bc_config:
+              { Learning.Bottom_clause.default_config with sample_size = 100 }
+            db bias ~rng
+        in
+        let clauses =
+          [
+            clause "advisedBy(X,Y) :- publication(Z,X), publication(Z,Y)";
+            clause "advisedBy(X,Y) :- student(X), professor(Y)";
+            clause "advisedBy(X,Y) :- publication(Z,Y), student(X)";
+          ]
+        in
+        let examples =
+          [
+            [| v "juan"; v "sarita" |]; [| v "juan"; v "mary" |];
+            [| v "john"; v "mary" |]; [| v "john"; v "sarita" |];
+          ]
+        in
+        List.iter
+          (fun c ->
+            List.iter
+              (fun e ->
+                Alcotest.(check bool)
+                  (Logic.Clause.to_string c)
+                  (Query.covers db c e)
+                  (Learning.Coverage.covers cov c e))
+              examples)
+          clauses);
+  ]
+
+let inference_tests =
+  [
+    Alcotest.test_case "derive materializes the co-authorship rule" `Quick
+      (fun () ->
+        let db = db () in
+        let c = clause "advisedBy(X,Y) :- student(X), professor(Y), publication(Z,X), publication(Z,Y)" in
+        let derived = Inference.derive db c in
+        Alcotest.(check int) "two pairs" 2 (List.length derived);
+        Alcotest.(check bool) "juan/sarita in" true
+          (List.mem [| v "juan"; v "sarita" |] derived);
+        Alcotest.(check bool) "john/mary in" true
+          (List.mem [| v "john"; v "mary" |] derived));
+    Alcotest.test_case "derive_definition unions clause results" `Quick
+      (fun () ->
+        let db = db () in
+        let def =
+          [
+            clause "advisedBy(X,Y) :- student(X), hasPosition(Y,assistant_prof)";
+            clause "advisedBy(X,Y) :- student(X), hasPosition(Y,associate_prof)";
+          ]
+        in
+        (* 2 students × 1 assistant + 2 students × 1 associate = 4 pairs. *)
+        Alcotest.(check int) "four" 4
+          (List.length (Inference.derive_definition db def)));
+    Alcotest.test_case "max_results caps the derivation" `Quick (fun () ->
+        let db = db () in
+        let c = clause "advisedBy(X,Y) :- student(X), professor(Y)" in
+        let derived =
+          Inference.derive
+            ~config:{ Inference.default_config with max_results = 2 }
+            db c
+        in
+        Alcotest.(check int) "capped" 2 (List.length derived));
+    Alcotest.test_case "unbound head variables derive nothing" `Quick
+      (fun () ->
+        let db = db () in
+        let c = clause "advisedBy(X,Y) :- student(X)" in
+        (* Y never bound: no ground head tuple may be emitted. *)
+        Alcotest.(check int) "empty" 0 (List.length (Inference.derive db c)));
+  ]
+
+let progol_tests =
+  [
+    Alcotest.test_case "Progol-style search learns the drama rule" `Slow
+      (fun () ->
+        let d = Datasets.Imdb.generate ~scale:0.3 () in
+        let rng = Random.State.make [| 6 |] in
+        let cov =
+          Learning.Coverage.create d.Datasets.Dataset.db
+            d.Datasets.Dataset.manual_bias ~rng
+        in
+        let r =
+          Baselines.Progol.learn
+            ~config:{ Baselines.Progol.default_config with timeout = Some 60. }
+            cov ~rng ~positives:d.Datasets.Dataset.positives
+            ~negatives:d.Datasets.Dataset.negatives
+        in
+        let rendered =
+          Logic.Clause.definition_to_string r.Baselines.Progol.definition
+        in
+        let contains needle =
+          let nl = String.length needle and hl = String.length rendered in
+          let rec go i = i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "mentions drama" true (contains "drama"));
+    Alcotest.test_case "Progol-style search couples variables on FLT" `Slow
+      (fun () ->
+        (* Unlike FOIL, candidates come from the bottom clause, where the
+           coupled flight literals already exist — so the connected-route
+           rule is reachable top-down. *)
+        let d = Datasets.Flt.generate ~scale:0.3 () in
+        let rng = Random.State.make [| 6 |] in
+        let cov =
+          Learning.Coverage.create d.Datasets.Dataset.db
+            d.Datasets.Dataset.manual_bias ~rng
+        in
+        let r =
+          Baselines.Progol.learn
+            ~config:{ Baselines.Progol.default_config with timeout = Some 60. }
+            cov ~rng ~positives:d.Datasets.Dataset.positives
+            ~negatives:d.Datasets.Dataset.negatives
+        in
+        Alcotest.(check bool) "learned something" true
+          (r.Baselines.Progol.definition <> []));
+  ]
+
+let suite = query_tests @ inference_tests @ progol_tests

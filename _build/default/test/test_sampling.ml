@@ -1,0 +1,258 @@
+(* Tests for the three sampling strategies (Section 4) and the semi-join
+   tree. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Strategy = Sampling.Strategy
+
+let v = Value.str
+let rng () = Random.State.make [| 123 |]
+
+(* A relation with a skewed join column: value "hot" appears 50 times,
+   "cold1".."cold5" once each. *)
+let skewed () =
+  let rows =
+    List.init 50 (fun i -> [| v "hot"; v (Printf.sprintf "h%d" i) |])
+    @ List.init 5 (fun i -> [| v (Printf.sprintf "cold%d" i); v "c" |])
+  in
+  Relation.of_tuples (Schema.relation "r" [| "k"; "payload" |]) rows
+
+let all_keys () =
+  Value.Set.of_list (v "hot" :: List.init 5 (fun i -> v (Printf.sprintf "cold%d" i)))
+
+let basic strategy =
+  [
+    Alcotest.test_case
+      (Strategy.to_string strategy ^ ": only matching tuples, within size")
+      `Quick
+      (fun () ->
+        let rel = skewed () in
+        let known = Value.Set.of_list [ v "hot"; v "cold1"; v "nope" ] in
+        let sample =
+          Strategy.sample strategy ~rng:(rng ()) ~rel ~pos:0 ~known ~size:10
+            ~constant_positions:[]
+        in
+        Alcotest.(check bool) "≤ size (naive) or bounded" true
+          (List.length sample <= 20);
+        List.iter
+          (fun t ->
+            Alcotest.(check bool) "matches" true
+              (Value.Set.mem t.(0) known))
+          sample);
+    Alcotest.test_case
+      (Strategy.to_string strategy ^ ": deterministic under a fixed seed")
+      `Quick
+      (fun () ->
+        let rel = skewed () in
+        let known = all_keys () in
+        let s1 =
+          Strategy.sample strategy ~rng:(Random.State.make [| 7 |]) ~rel ~pos:0
+            ~known ~size:8 ~constant_positions:[ 0 ]
+        in
+        let s2 =
+          Strategy.sample strategy ~rng:(Random.State.make [| 7 |]) ~rel ~pos:0
+            ~known ~size:8 ~constant_positions:[ 0 ]
+        in
+        Alcotest.(check bool) "equal" true (s1 = s2));
+    Alcotest.test_case
+      (Strategy.to_string strategy ^ ": empty known set yields nothing") `Quick
+      (fun () ->
+        let sample =
+          Strategy.sample strategy ~rng:(rng ()) ~rel:(skewed ()) ~pos:0
+            ~known:Value.Set.empty ~size:10 ~constant_positions:[]
+        in
+        Alcotest.(check int) "empty" 0 (List.length sample));
+  ]
+
+let naive_tests =
+  [
+    Alcotest.test_case "naive returns everything when size exceeds matches"
+      `Quick (fun () ->
+        let rel = skewed () in
+        let known = Value.Set.singleton (v "cold1") in
+        let sample =
+          Strategy.sample Strategy.Naive ~rng:(rng ()) ~rel ~pos:0 ~known
+            ~size:10 ~constant_positions:[]
+        in
+        Alcotest.(check int) "one" 1 (List.length sample));
+    Alcotest.test_case "naive sample size is exactly the cap when abundant"
+      `Quick (fun () ->
+        let sample =
+          Strategy.sample Strategy.Naive ~rng:(rng ()) ~rel:(skewed ()) ~pos:0
+            ~known:(all_keys ()) ~size:12 ~constant_positions:[]
+        in
+        Alcotest.(check int) "12" 12 (List.length sample));
+  ]
+
+let random_tests =
+  [
+    Alcotest.test_case
+      "random (Olken) is uniform over the semi-join output" `Quick (fun () ->
+        (* Values are drawn uniformly from the distinct key set, then a
+           matching tuple is accepted with probability m(a)/M — Olken's
+           correction — so every tuple of the semi-join result is equally
+           likely. The five cold tuples together hold 5/55 ≈ 9% of the
+           output; their observed share must sit near that, not near the
+           1/6-per-value rate (≈ 17% each, 83% total) an uncorrected
+           value-uniform sampler would give. *)
+        let rel = skewed () in
+        let known = all_keys () in
+        let st = rng () in
+        let cold = ref 0 and total = ref 0 in
+        for _ = 1 to 400 do
+          let sample =
+            Strategy.sample Strategy.Random ~rng:st ~rel ~pos:0 ~known ~size:4
+              ~constant_positions:[]
+          in
+          List.iter
+            (fun t ->
+              incr total;
+              if not (Value.equal t.(0) (v "hot")) then incr cold)
+            sample
+        done;
+        let ratio = float_of_int !cold /. float_of_int !total in
+        Alcotest.(check bool)
+          (Printf.sprintf "cold share %.3f within [0.02, 0.25]" ratio)
+          true (ratio >= 0.02 && ratio <= 0.25));
+    Alcotest.test_case "random acceptance never loops forever" `Quick (fun () ->
+        (* A known set whose values mostly miss the relation forces many
+           rejections; the attempt bound must still terminate. *)
+        let rel = skewed () in
+        let known =
+          Value.Set.of_list (List.init 50 (fun i -> v (Printf.sprintf "miss%d" i)))
+        in
+        let sample =
+          Strategy.sample Strategy.Random ~rng:(rng ()) ~rel ~pos:0 ~known
+            ~size:5 ~constant_positions:[]
+        in
+        Alcotest.(check int) "nothing matched" 0 (List.length sample));
+  ]
+
+let stratified_tests =
+  [
+    Alcotest.test_case "stratified keeps every stratum represented" `Quick
+      (fun () ->
+        (* Constant-able column 0: strata = {hot} ∪ {cold1..cold5}. Every
+           stratum must contribute at least one tuple, however small the
+           per-stratum size. *)
+        let rel = skewed () in
+        let sample =
+          Strategy.sample Strategy.Stratified ~rng:(rng ()) ~rel ~pos:0
+            ~known:(all_keys ()) ~size:1 ~constant_positions:[ 0 ]
+        in
+        let keys =
+          List.fold_left (fun acc t -> Value.Set.add t.(0) acc) Value.Set.empty sample
+        in
+        Alcotest.(check int) "six strata" 6 (Value.Set.cardinal keys));
+    Alcotest.test_case "stratified without constant attributes = one stratum"
+      `Quick (fun () ->
+        let rel = skewed () in
+        let sample =
+          Strategy.sample Strategy.Stratified ~rng:(rng ()) ~rel ~pos:0
+            ~known:(all_keys ()) ~size:4 ~constant_positions:[]
+        in
+        Alcotest.(check int) "four" 4 (List.length sample));
+  ]
+
+let strategy_misc =
+  [
+    Alcotest.test_case "strategy string round-trip" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) "eq" true
+              (Strategy.equal s (Strategy.of_string (Strategy.to_string s))))
+          Strategy.all);
+    Alcotest.test_case "of_string rejects unknown names" `Quick (fun () ->
+        Alcotest.check_raises "bad" (Invalid_argument "Strategy.of_string: bogus")
+          (fun () -> ignore (Strategy.of_string "bogus")));
+  ]
+
+let semi_join_tree_tests =
+  [
+    Alcotest.test_case "tree expands the UW bias joins" `Quick (fun () ->
+        let d = Datasets.Uw.generate ~scale:0.2 () in
+        let tree = Sampling.Semi_join_tree.build d.Datasets.Dataset.manual_bias ~depth:1 in
+        let root = Sampling.Semi_join_tree.root tree in
+        Alcotest.(check string) "root" "advisedBy" root.Sampling.Semi_join_tree.relation;
+        (* advisedBy(stud,prof) reaches student, inPhase, yearsInProgram, ta
+           via stud and professor, hasPosition, taughtBy, publication via
+           prof/stud types. *)
+        let children =
+          List.map (fun n -> n.Sampling.Semi_join_tree.relation)
+            root.Sampling.Semi_join_tree.children
+          |> List.sort_uniq compare
+        in
+        Alcotest.(check bool) "student reachable" true (List.mem "student" children);
+        Alcotest.(check bool) "publication reachable" true
+          (List.mem "publication" children);
+        Alcotest.(check bool) "courseLevel not directly reachable" false
+          (List.mem "courseLevel" children));
+    Alcotest.test_case "deeper trees strictly grow" `Quick (fun () ->
+        let d = Datasets.Uw.generate ~scale:0.2 () in
+        let t1 = Sampling.Semi_join_tree.build d.Datasets.Dataset.manual_bias ~depth:1 in
+        let t2 = Sampling.Semi_join_tree.build d.Datasets.Dataset.manual_bias ~depth:2 in
+        Alcotest.(check bool) "t2 bigger" true
+          (Sampling.Semi_join_tree.node_count t2 > Sampling.Semi_join_tree.node_count t1));
+  ]
+
+let suite =
+  basic Strategy.Naive @ basic Strategy.Random @ basic Strategy.Stratified
+  @ naive_tests @ random_tests @ stratified_tests @ strategy_misc
+  @ semi_join_tree_tests
+
+let stratified_tree_tests =
+  [
+    Alcotest.test_case "Algorithm 4 collects a stratified relevant set" `Quick
+      (fun () ->
+        let d = Datasets.Uw.generate ~scale:0.3 () in
+        let rng = Random.State.make [| 5 |] in
+        let collected =
+          Sampling.Stratified_tree.collect d.Datasets.Dataset.db
+            d.Datasets.Dataset.manual_bias ~rng
+            ~example:(List.hd d.Datasets.Dataset.positives)
+        in
+        Alcotest.(check bool) "non-empty" true (collected <> []);
+        (* every collected tuple really belongs to its relation *)
+        List.iter
+          (fun (rel_name, t) ->
+            let rel = Relational.Database.find d.Datasets.Dataset.db rel_name in
+            Alcotest.(check bool) "member" true
+              (List.exists (fun t' -> t' = t) (Relational.Relation.lookup rel 0 t.(0))))
+          collected);
+    Alcotest.test_case
+      "Algorithm 4 reaches the example's direct neighbourhood" `Quick
+      (fun () ->
+        let d = Datasets.Uw.generate ~scale:0.3 () in
+        let rng = Random.State.make [| 5 |] in
+        let e = List.hd d.Datasets.Dataset.positives in
+        let collected =
+          Sampling.Stratified_tree.collect d.Datasets.Dataset.db
+            d.Datasets.Dataset.manual_bias ~rng ~example:e
+        in
+        (* the student's own student/inPhase tuples must be present *)
+        Alcotest.(check bool) "student tuple" true
+          (List.exists
+             (fun (r, t) -> r = "student" && Relational.Value.equal t.(0) e.(0))
+             collected));
+    Alcotest.test_case "per-stratum size bounds the leaf samples" `Quick
+      (fun () ->
+        let d = Datasets.Uw.generate ~scale:0.3 () in
+        let rng = Random.State.make [| 5 |] in
+        let small =
+          Sampling.Stratified_tree.collect
+            ~config:{ Sampling.Stratified_tree.default_config with per_stratum = 1 }
+            d.Datasets.Dataset.db d.Datasets.Dataset.manual_bias ~rng
+            ~example:(List.hd d.Datasets.Dataset.positives)
+        in
+        let big =
+          Sampling.Stratified_tree.collect
+            ~config:{ Sampling.Stratified_tree.default_config with per_stratum = 50 }
+            d.Datasets.Dataset.db d.Datasets.Dataset.manual_bias ~rng
+            ~example:(List.hd d.Datasets.Dataset.positives)
+        in
+        Alcotest.(check bool) "monotone in s" true
+          (List.length small <= List.length big));
+  ]
+
+let suite = suite @ stratified_tree_tests

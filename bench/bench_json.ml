@@ -1,0 +1,84 @@
+(* Machine-readable benchmark output.
+
+   Every experiment records (key, value) metrics under its experiment name;
+   the driver writes the merged map to BENCH_autobias.json at the end of the
+   run so the perf trajectory can be tracked across PRs (and uploaded as a
+   CI artifact). The writer is hand-rolled — no JSON dependency — and emits
+
+     { "meta": {..}, "experiments": { "<experiment>": { "<key>": value } } }
+
+   with experiments and keys in first-recorded order. *)
+
+type value =
+  | F of float
+  | I of int
+  | S of string
+  | B of bool
+
+(* (experiment, metrics) in insertion order; an experiment may record
+   several times (e.g. one call per dataset × method cell). *)
+let records : (string * (string * value) list) list ref = ref []
+let meta : (string * value) list ref = ref []
+
+let record experiment metrics =
+  records := !records @ [ (experiment, metrics) ]
+
+let set_meta metrics = meta := !meta @ metrics
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_string = function
+  | F f when Float.is_nan f || f = Float.infinity || f = Float.neg_infinity ->
+      "null"
+  | F f -> Printf.sprintf "%.6g" f
+  | I i -> string_of_int i
+  | S s -> Printf.sprintf "\"%s\"" (escape s)
+  | B b -> string_of_bool b
+
+let metrics_to_string metrics =
+  metrics
+  |> List.map (fun (k, v) ->
+         Printf.sprintf "\"%s\": %s" (escape k) (value_to_string v))
+  |> String.concat ", "
+
+(* Merge repeated records of one experiment, preserving first-seen order of
+   both experiments and keys. *)
+let merged () =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (exp, metrics) ->
+      if not (Hashtbl.mem tbl exp) then begin
+        order := exp :: !order;
+        Hashtbl.replace tbl exp []
+      end;
+      Hashtbl.replace tbl exp (Hashtbl.find tbl exp @ metrics))
+    !records;
+  List.rev_map (fun exp -> (exp, Hashtbl.find tbl exp)) !order
+
+let write path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"meta\": { %s },\n  \"experiments\": {\n"
+    (metrics_to_string !meta);
+  let exps = merged () in
+  List.iteri
+    (fun i (exp, metrics) ->
+      Printf.fprintf oc "    \"%s\": { %s }%s\n" (escape exp)
+        (metrics_to_string metrics)
+        (if i < List.length exps - 1 then "," else ""))
+    exps;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc

@@ -8,10 +8,15 @@
      dune exec bench/main.exe -- table5 --data uw,imdb --folds 3 --timeout 30
 
    Experiments: table3 figure1 preprocess table5 table6 ablation-aind
-   ablation-threshold micro. Absolute numbers differ from the paper (our
-   datasets are laptop-scale synthetics; see EXPERIMENTS.md); the harness
-   prints the paper's value next to each measured one where the paper
-   reports one. *)
+   ablation-threshold scaling micro. Absolute numbers differ from the paper
+   (our datasets are laptop-scale synthetics; see EXPERIMENTS.md); the
+   harness prints the paper's value next to each measured one where the
+   paper reports one.
+
+   Every experiment additionally records machine-readable metrics; the
+   driver writes them to BENCH_autobias.json at the end of the run so the
+   perf trajectory is tracked across PRs. `--domains N` runs the learner
+   hot paths on an N-worker domain pool (default: sequential). *)
 
 module Dataset = Datasets.Dataset
 module CV = Evaluation.Cross_validation
@@ -23,11 +28,26 @@ type options = {
   mutable timeout : float;
   mutable seed : int;
   mutable scale : float option;  (** overrides the per-dataset default *)
+  mutable domains : int option;
+      (** worker-domain pool size for the learner's parallel paths *)
 }
 
 let options =
   { data = [ "uw"; "imdb"; "hiv"; "flt"; "sys" ]; folds = 3; timeout = 30.;
-    seed = 42; scale = None }
+    seed = 42; scale = None; domains = None }
+
+(* One pool for the whole run (spawning domains is the expensive part);
+   created on first use when --domains is given, shut down by the driver. *)
+let the_pool : Parallel.Pool.t option ref = ref None
+
+let pool () =
+  match (!the_pool, options.domains) with
+  | (Some _ as p), _ -> p
+  | None, None -> None
+  | None, Some n ->
+      let p = Parallel.Pool.create ~size:n () in
+      the_pool := Some p;
+      Some p
 
 (* Per-dataset default scales: chosen so the full harness finishes in tens of
    minutes while each dataset keeps its defining regime (UW small, the rest
@@ -47,7 +67,8 @@ let generate name =
 let selected_datasets () = List.map (fun n -> (n, generate n)) options.data
 
 let config ?(strategy = Sampling.Strategy.Naive) () =
-  { Autobias.default_config with strategy; timeout = Some options.timeout }
+  { Autobias.default_config with strategy; timeout = Some options.timeout;
+    pool = pool () }
 
 let hr () = Fmt.pr "%s@." (String.make 78 '-')
 
@@ -66,7 +87,11 @@ let table3 () =
   Fmt.pr "%a@." Bias.Language.pp bi.Autobias.bias;
   Fmt.pr "@.generated: %d definitions (manual bias for this dataset: %d)@."
     (Bias.Language.size bi.Autobias.bias)
-    (Bias.Language.size d.Dataset.manual_bias)
+    (Bias.Language.size d.Dataset.manual_bias);
+  Bench_json.record "table3"
+    [ ("uw.generated_definitions", Bench_json.I (Bias.Language.size bi.Autobias.bias));
+      ("uw.manual_definitions", Bench_json.I (Bias.Language.size d.Dataset.manual_bias));
+      ("uw.bias_time_s", Bench_json.F bi.Autobias.bias_time) ]
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: the type graph for UW.                                   *)
@@ -106,7 +131,14 @@ let preprocess () =
           Fmt.pr "%-6s %7d tuples  %4d INDs  %8.3fs@." name
             (Relational.Database.total_tuples d.Dataset.db)
             (List.length ind.Discovery.Generate.inds)
-            ind.Discovery.Generate.ind_time)
+            ind.Discovery.Generate.ind_time;
+          Bench_json.record "preprocess"
+            [ (name ^ ".tuples",
+               Bench_json.I (Relational.Database.total_tuples d.Dataset.db));
+              (name ^ ".inds",
+               Bench_json.I (List.length ind.Discovery.Generate.inds));
+              (name ^ ".ind_time_s",
+               Bench_json.F ind.Discovery.Generate.ind_time) ])
     (selected_datasets ())
 
 (* ------------------------------------------------------------------ *)
@@ -160,6 +192,12 @@ let table5 () =
                   method_ d ~seed:options.seed
               in
               let m = result.CV.mean_metrics in
+              Bench_json.record "table5"
+                [ (name ^ "." ^ mname ^ ".precision", Bench_json.F m.Metrics.precision);
+                  (name ^ "." ^ mname ^ ".recall", Bench_json.F m.Metrics.recall);
+                  (name ^ "." ^ mname ^ ".f_measure", Bench_json.F m.Metrics.f_measure);
+                  (name ^ "." ^ mname ^ ".mean_time_s", Bench_json.F result.CV.mean_time);
+                  (name ^ "." ^ mname ^ ".timed_out", Bench_json.B result.CV.any_timed_out) ];
               Fmt.str "%.2f/%.2f/%.2f %s%s" m.Metrics.precision m.Metrics.recall
                 m.Metrics.f_measure
                 (CV.format_time result.CV.mean_time)
@@ -212,6 +250,11 @@ let table6 () =
                 Autobias.cross_validate ~config:(config ~strategy ())
                   ~k:options.folds Autobias.Auto_bias d ~seed:options.seed
               in
+              Bench_json.record "table6"
+                [ (name ^ "." ^ sname ^ ".f_measure",
+                   Bench_json.F result.CV.mean_metrics.Metrics.f_measure);
+                  (name ^ "." ^ sname ^ ".mean_time_s",
+                   Bench_json.F result.CV.mean_time) ];
               Fmt.str "%.2f %s%s" result.CV.mean_metrics.Metrics.f_measure
                 (CV.format_time result.CV.mean_time)
                 (if result.CV.any_timed_out then " (timeout)" else "")
@@ -245,7 +288,12 @@ let ablation_aind () =
       Fmt.pr "approximate INDs %-3s : %a  time=%s@."
         (if use_approximate_inds then "on" else "off")
         Metrics.pp_row result.CV.mean_metrics
-        (CV.format_time result.CV.mean_time))
+        (CV.format_time result.CV.mean_time);
+      let tag = if use_approximate_inds then "on" else "off" in
+      Bench_json.record "ablation-aind"
+        [ ("uw.aind_" ^ tag ^ ".f_measure",
+           Bench_json.F result.CV.mean_metrics.Metrics.f_measure);
+          ("uw.aind_" ^ tag ^ ".mean_time_s", Bench_json.F result.CV.mean_time) ])
     [ true; false ]
 
 let ablation_threshold () =
@@ -269,7 +317,12 @@ let ablation_threshold () =
       Fmt.pr "threshold %5.1f%% : bias size %3d, %a  time=%s@." (100. *. ratio)
         (Bias.Language.size bi.Autobias.bias) Metrics.pp_row
         result.CV.mean_metrics
-        (CV.format_time result.CV.mean_time))
+        (CV.format_time result.CV.mean_time);
+      let tag = Printf.sprintf "imdb.t%g" (100. *. ratio) in
+      Bench_json.record "ablation-threshold"
+        [ (tag ^ ".bias_size", Bench_json.I (Bias.Language.size bi.Autobias.bias));
+          (tag ^ ".f_measure",
+           Bench_json.F result.CV.mean_metrics.Metrics.f_measure) ])
     [ 0.001; 0.05; 0.18; 0.5 ]
 
 (* ------------------------------------------------------------------ *)
@@ -313,7 +366,11 @@ let ablation_coverage () =
       in
       Fmt.pr
         "%-22s (%3d literals): subsumption %4d covered in %8.4fs | query %4d covered in %8.4fs@."
-        label (Logic.Clause.size clause) n_sub t_sub n_query t_query)
+        label (Logic.Clause.size clause) n_sub t_sub n_query t_query;
+      let tag = if label = "learned clause" then "learned" else "bottom" in
+      Bench_json.record "ablation-coverage"
+        [ ("hiv." ^ tag ^ ".subsumption_s", Bench_json.F t_sub);
+          ("hiv." ^ tag ^ ".query_s", Bench_json.F t_query) ])
     [ ("learned clause", crisp); ("raw bottom clause", bottom) ]
 
 (* ------------------------------------------------------------------ *)
@@ -344,6 +401,9 @@ let ablation_search () =
         in
         Fmt.pr "%-5s %-18s %d clauses  %a  %s@." name label
           (List.length definition) Metrics.pp_row m (CV.format_time elapsed);
+        Bench_json.record "ablation-search"
+          [ (name ^ "." ^ label ^ ".f_measure", Bench_json.F m.Metrics.f_measure);
+            (name ^ "." ^ label ^ ".time_s", Bench_json.F elapsed) ];
         Format.pp_print_flush Format.std_formatter ()
       in
       run "armg-beam" (fun cov rng ->
@@ -404,6 +464,9 @@ let ablation_noise () =
         (List.length r.Autobias.definition)
         Metrics.pp_row m
         (CV.format_time r.Autobias.learn_time);
+      Bench_json.record "ablation-noise"
+        [ (Printf.sprintf "uw.noise%g.f_measure" (100. *. fraction),
+           Bench_json.F m.Metrics.f_measure) ];
       Format.pp_print_flush Format.std_formatter ())
     [ 0.0; 0.05; 0.1; 0.2 ]
 
@@ -434,6 +497,11 @@ let ablation_overlap () =
         (Discovery.Overlap_bias.joinable_pairs auto)
         (Discovery.Overlap_bias.joinable_pairs overlap)
         (Discovery.Overlap_bias.joinable_pairs d.Dataset.manual_bias);
+      Bench_json.record "ablation-overlap"
+        [ (name ^ ".autobias_pairs",
+           Bench_json.I (Discovery.Overlap_bias.joinable_pairs auto));
+          (name ^ ".overlap_pairs",
+           Bench_json.I (Discovery.Overlap_bias.joinable_pairs overlap)) ];
       Format.pp_print_flush Format.std_formatter ())
     (selected_datasets ());
   (* On perfectly clean domains the two policies coincide; real data has
@@ -466,6 +534,139 @@ let ablation_overlap () =
   Fmt.pr "under overlap typing, student[stud] ~ inPhase[phase]: %b; under AutoBias: %b@."
     (Bias.Language.share_type overlap "student" 0 "inPhase" 1)
     (Bias.Language.share_type auto "student" 0 "inPhase" 1)
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: the beam-evaluation workload across domain-pool sizes.    *)
+(* ------------------------------------------------------------------ *)
+
+(* The workload mirrors one beam step of the learner: a set of ARMG-derived
+   candidate clauses, each counted against every training example through
+   the warmed coverage cache — the path that dominates learning cost
+   (Section 5). The same workload runs sequentially and on pools of
+   1/2/4/N domains; coverage is deterministic per example, so every
+   configuration must produce identical counts, and the wall-clock ratio is
+   the speedup. A full Learn.learn determinism check (pool = None vs a
+   1-domain pool) closes the experiment. *)
+
+let scaling () =
+  hr ();
+  Fmt.pr "Scaling — parallel beam-candidate evaluation (domain pools)@.";
+  Fmt.pr "host: %d core(s) recommended by the runtime; pool sizes 1/2/4/N@."
+    (Domain.recommended_domain_count ());
+  hr ();
+  let d = generate "uw" in
+  let rng = Random.State.make [| options.seed |] in
+  let cov = Learning.Coverage.create d.Dataset.db d.Dataset.manual_bias ~rng in
+  let positives = d.Dataset.positives and negatives = d.Dataset.negatives in
+  let examples = positives @ negatives in
+  Learning.Coverage.warm cov examples;
+  (* Candidate set: ARMG generalization chains from a few seeds, exactly
+     what a beam step evaluates. *)
+  let candidates = ref [] in
+  List.iter
+    (fun seed ->
+      let c =
+        ref (Learning.Bottom_clause.build d.Dataset.db d.Dataset.manual_bias
+               ~rng ~example:seed)
+      in
+      candidates := !c :: !candidates;
+      List.iteri
+        (fun i e ->
+          if i mod 3 = 0 then
+            match Learning.Armg.generalize cov !c ~example:e with
+            | Some c' ->
+                c := c';
+                candidates := c' :: !candidates
+            | None -> ())
+        positives)
+    (Logic.Util.take 4 positives);
+  let candidates = !candidates in
+  Fmt.pr "workload: %d candidates x %d examples per evaluation pass@."
+    (List.length candidates) (List.length examples);
+  let eval_all pool =
+    Parallel.Par.parallel_map ?pool
+      (fun c -> Learning.Coverage.count cov c examples)
+      candidates
+  in
+  (* min of 3 passes: the workload is short; the min discards warmup and
+     scheduler noise *)
+  let best_of_3 f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      let x = f () in
+      (x, Unix.gettimeofday () -. t0)
+    in
+    let r1, t1 = once () in
+    let _, t2 = once () in
+    let _, t3 = once () in
+    (r1, min t1 (min t2 t3))
+  in
+  let baseline, t_seq = best_of_3 (fun () -> eval_all None) in
+  Fmt.pr "%-12s %8.4fs@." "sequential" t_seq;
+  let sizes =
+    List.sort_uniq compare
+      (1 :: 2 :: 4
+      :: (match options.domains with
+         | Some n -> [ n ]
+         | None -> [ Parallel.Pool.default_size () ]))
+  in
+  let timings =
+    List.map
+      (fun size ->
+        Parallel.Pool.with_pool ~size (fun p ->
+            let counts, t = best_of_3 (fun () -> eval_all (Some p)) in
+            if counts <> baseline then
+              Fmt.pr "!! counts diverged at %d domains (determinism bug)@." size;
+            (size, t, counts = baseline)))
+      sizes
+  in
+  let t1 =
+    match timings with (1, t, _) :: _ -> t | _ -> assert false
+  in
+  List.iter
+    (fun (size, t, _) ->
+      Fmt.pr "%-12s %8.4fs  speedup vs 1 domain: %.2fx@."
+        (Printf.sprintf "%d domain(s)" size)
+        t (t1 /. t))
+    timings;
+  (* Full-learner determinism: pool = None and a 1-domain pool must learn
+     the identical definition on a fixed seed. *)
+  let learn_with pool =
+    let rng = Random.State.make [| options.seed; 7 |] in
+    let cov =
+      Learning.Coverage.create d.Dataset.db d.Dataset.manual_bias ~rng
+    in
+    let config =
+      { Learning.Learn.default_config with
+        timeout = Some options.timeout; pool }
+    in
+    (Learning.Learn.learn ~config cov ~rng ~positives ~negatives)
+      .Learning.Learn.definition
+  in
+  let def_seq = learn_with None in
+  let def_par =
+    Parallel.Pool.with_pool ~size:1 (fun p -> learn_with (Some p))
+  in
+  let identical =
+    Logic.Clause.definition_to_string def_seq
+    = Logic.Clause.definition_to_string def_par
+  in
+  Fmt.pr "Learn.learn sequential == 1-domain pool: %s (%d clauses)@."
+    (if identical then "IDENTICAL" else "DIVERGED")
+    (List.length def_seq);
+  let all_deterministic = List.for_all (fun (_, _, ok) -> ok) timings in
+  Bench_json.record "scaling"
+    ([ ("candidates", Bench_json.I (List.length candidates));
+       ("examples", Bench_json.I (List.length examples));
+       ("cores_recommended", Bench_json.I (Domain.recommended_domain_count ()));
+       ("sequential_s", Bench_json.F t_seq) ]
+    @ List.concat_map
+        (fun (size, t, _) ->
+          [ (Printf.sprintf "domains%d_s" size, Bench_json.F t);
+            (Printf.sprintf "speedup_%dv1" size, Bench_json.F (t1 /. t)) ])
+        timings
+    @ [ ("counts_deterministic", Bench_json.B all_deterministic);
+        ("learn_identical_seq_vs_1domain", Bench_json.B identical) ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations.                  *)
@@ -563,7 +764,9 @@ let micro () =
     (fun (name, ns) ->
       if ns >= 1e6 then Fmt.pr "%-34s %10.3f ms/run@." name (ns /. 1e6)
       else Fmt.pr "%-34s %10.1f ns/run@." name ns)
-    rows
+    rows;
+  Bench_json.record "micro"
+    (List.map (fun (name, ns) -> (name ^ ".ns_per_run", Bench_json.F ns)) rows)
 
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                            *)
@@ -582,14 +785,17 @@ let experiments =
     ("ablation-search", ablation_search);
     ("ablation-overlap", ablation_overlap);
     ("ablation-noise", ablation_noise);
+    ("scaling", scaling);
     ("micro", micro);
   ]
 
 let usage () =
   Fmt.pr
-    "usage: main.exe [EXPERIMENT..] [--data a,b,..] [--folds N] [--timeout S] [--seed N] [--scale F]@.";
+    "usage: main.exe [EXPERIMENT..] [--data a,b,..] [--folds N] [--timeout S] [--seed N] [--scale F] [--domains N]@.";
   Fmt.pr "experiments: %s (default: all)@."
-    (String.concat " " (List.map fst experiments))
+    (String.concat " " (List.map fst experiments));
+  Fmt.pr
+    "--domains N runs the learner's hot paths on an N-worker domain pool@."
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -610,6 +816,9 @@ let () =
     | "--scale" :: v :: rest ->
         options.scale <- Some (float_of_string v);
         parse chosen rest
+    | "--domains" :: v :: rest ->
+        options.domains <- Some (int_of_string v);
+        parse chosen rest
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -623,6 +832,21 @@ let () =
   let chosen = parse [] args in
   let chosen = if chosen = [] then List.map fst experiments else chosen in
   let t0 = Unix.gettimeofday () in
+  Bench_json.set_meta
+    [ ("seed", Bench_json.I options.seed);
+      ("folds", Bench_json.I options.folds);
+      ("timeout_s", Bench_json.F options.timeout);
+      ("data", Bench_json.S (String.concat "," options.data));
+      ("domains",
+       match options.domains with
+       | Some n -> Bench_json.I n
+       | None -> Bench_json.S "sequential");
+      ("cores_recommended", Bench_json.I (Domain.recommended_domain_count ()));
+      ("experiments", Bench_json.S (String.concat "," chosen)) ];
   List.iter (fun name -> (List.assoc name experiments) ()) chosen;
-  Fmt.pr "@.total bench time: %s@."
-    (CV.format_time (Unix.gettimeofday () -. t0))
+  (match !the_pool with Some p -> Parallel.Pool.shutdown p | None -> ());
+  let total = Unix.gettimeofday () -. t0 in
+  Bench_json.set_meta [ ("total_bench_time_s", Bench_json.F total) ];
+  Bench_json.write "BENCH_autobias.json";
+  Fmt.pr "@.machine-readable metrics written to BENCH_autobias.json@.";
+  Fmt.pr "total bench time: %s@." (CV.format_time total)

@@ -54,6 +54,9 @@ type config = {
   ind_max_error : float;  (** α for approximate INDs *)
   use_approximate_inds : bool;  (** ablation knob; the paper always uses them *)
   subsumption : Logic.Subsumption.config;
+  pool : Parallel.Pool.t option;
+      (** domain pool threaded into the learner's hot paths (candidate
+          evaluation, acceptance counting, CV folds); [None] = sequential *)
 }
 
 (** Defaults follow Section 6.1: ≤20 tuples per mode, constant-threshold
@@ -74,6 +77,7 @@ let default_config =
     ind_max_error = 0.5;
     use_approximate_inds = true;
     subsumption = Logic.Subsumption.default_config;
+    pool = None;
   }
 
 type bias_info = {
@@ -135,6 +139,7 @@ let learn_config config =
     max_consecutive_skips =
       Learning.Learn.default_config.Learning.Learn.max_consecutive_skips;
     timeout = config.timeout;
+    pool = config.pool;
   }
 
 let foil_config config =
@@ -211,6 +216,6 @@ let cross_validate ?(config = default_config) ?k method_
           (r.definition, r.timed_out));
     }
   in
-  Evaluation.Cross_validation.run ~k learner score_cov ~rng
+  Evaluation.Cross_validation.run ?pool:config.pool ~k learner score_cov ~rng
     ~positives:dataset.Datasets.Dataset.positives
     ~negatives:dataset.Datasets.Dataset.negatives

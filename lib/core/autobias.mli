@@ -35,6 +35,10 @@ type config = {
   ind_max_error : float;  (** α for approximate INDs (paper: 0.5) *)
   use_approximate_inds : bool;  (** ablation knob; the paper always uses them *)
   subsumption : Logic.Subsumption.config;
+  pool : Parallel.Pool.t option;
+      (** domain pool threaded into the learner's hot paths (candidate
+          evaluation, acceptance counting, CV folds); [None] = sequential.
+          Learned definitions are identical for every pool size. *)
 }
 
 (** Defaults follow Section 6.1. *)

@@ -40,16 +40,21 @@ let split_folds rng k l =
   Array.iteri (fun i x -> folds.(i mod k) <- x :: folds.(i mod k)) arr;
   Array.to_list folds
 
-(** [run ?k learner cov ~rng ~positives ~negatives] cross-validates
+(** [run ?pool ?k learner cov ~rng ~positives ~negatives] cross-validates
     [learner]. [cov] is used only for {e scoring} on held-out folds; the
     learner brings its own coverage context. [k] defaults to 10 and is
-    clamped so every fold holds at least one positive. *)
-let run ?(k = 10) learner cov ~rng ~positives ~negatives =
+    clamped so every fold holds at least one positive.
+
+    With [pool], folds run concurrently across the pool's domains; each
+    fold draws a private [Random.State] derived deterministically from
+    [rng], so the parallel result is identical for every pool size (it
+    differs from the sequential result, which threads one RNG through the
+    folds in order — the historical behaviour, kept bit-identical). *)
+let run ?pool ?(k = 10) learner cov ~rng ~positives ~negatives =
   let k = max 2 (min k (List.length positives)) in
   let pos_folds = Array.of_list (split_folds rng k positives) in
   let neg_folds = Array.of_list (split_folds rng k negatives) in
-  let results = ref [] in
-  for fold = 0 to k - 1 do
+  let run_fold ~rng fold =
     let test_pos = pos_folds.(fold) and test_neg = neg_folds.(fold) in
     let train_pos =
       List.concat (List.filteri (fun i _ -> i <> fold) (Array.to_list pos_folds))
@@ -62,9 +67,27 @@ let run ?(k = 10) learner cov ~rng ~positives ~negatives =
     let metrics =
       Metrics.evaluate cov definition ~positives:test_pos ~negatives:test_neg
     in
-    results := { fold; metrics; learn_time; timed_out; definition } :: !results
-  done;
-  let folds = List.rev !results in
+    { fold; metrics; learn_time; timed_out; definition }
+  in
+  let folds =
+    match pool with
+    | None ->
+        (* explicit ascending recursion: the shared RNG must see the folds
+           in the same order as the historical for-loop *)
+        let rec go fold =
+          if fold >= k then []
+          else
+            let r = run_fold ~rng fold in
+            r :: go (fold + 1)
+        in
+        go 0
+    | Some _ ->
+        let base = Random.State.bits rng in
+        Parallel.Par.parallel_map ?pool
+          (fun fold ->
+            run_fold ~rng:(Random.State.make [| base; fold |]) fold)
+          (List.init k Fun.id)
+  in
   {
     folds;
     mean_metrics = Metrics.mean (List.map (fun f -> f.metrics) folds);

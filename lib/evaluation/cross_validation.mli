@@ -28,10 +28,14 @@ type result = {
   any_timed_out : bool;
 }
 
-(** [run ?k learner cov ~rng ~positives ~negatives] cross-validates
+(** [run ?pool ?k learner cov ~rng ~positives ~negatives] cross-validates
     [learner]; [cov] only scores held-out folds. [k] defaults to 10,
-    clamped so every fold holds a positive. *)
+    clamped so every fold holds a positive. With [pool], folds run
+    concurrently, each on a private RNG split deterministically from [rng]
+    — the result is identical for every pool size (the sequential path
+    keeps the historical one-RNG-through-all-folds behaviour). *)
 val run :
+  ?pool:Parallel.Pool.t ->
   ?k:int ->
   learner ->
   Learning.Coverage.t ->

@@ -5,7 +5,18 @@
     to [e]'s constants, the body of [C] θ-subsumes the ground bottom clause
     of [e]. Ground BCs are built once per example — with the same sampling
     strategy used for bottom clauses, as the paper prescribes — and cached
-    here for the many coverage tests generalization performs. *)
+    here for the many coverage tests generalization performs.
+
+    The context is shared across domains by the parallel learner, so the
+    cache is read-mostly behind a mutex: lookups and inserts hold the lock
+    only for the table operation itself, while the expensive RNG-driven BC
+    construction runs outside it (a racing duplicate build keeps the first
+    inserted result). Construction draws from a {e per-example}
+    [Random.State] derived from the master seed captured at {!create}, so a
+    ground BC is a pure function of (master seed, example) — identical no
+    matter which domain builds it, in what order, or whether a pool is used
+    at all. That per-example derivation is what makes the learner's
+    sequential and 1-domain-pool runs produce identical definitions. *)
 
 module Value = Relational.Value
 
@@ -14,33 +25,65 @@ type t = {
   bias : Bias.Language.t;
   bc_config : Bottom_clause.config;
   sub_config : Logic.Subsumption.config;
-  rng : Random.State.t;
+  seed_base : int;  (** master seed for per-example ground-BC RNGs *)
   grounds : (Relational.Relation.tuple, Logic.Subsumption.ground) Hashtbl.t;
+  lock : Mutex.t;  (** guards [grounds] *)
 }
 
 let create ?(sub_config = Logic.Subsumption.default_config)
     ?(bc_config = Bottom_clause.default_config) db bias ~rng =
-  { db; bias; bc_config; sub_config; rng; grounds = Hashtbl.create 256 }
+  {
+    db;
+    bias;
+    bc_config;
+    sub_config;
+    seed_base = Random.State.bits rng;
+    grounds = Hashtbl.create 256;
+    lock = Mutex.create ();
+  }
 
 let bias t = t.bias
 let database t = t.db
 
+(* A stable structural hash of the example tuple: the per-example RNG must
+   not depend on physical identity or insertion order. *)
+let example_hash (example : Relational.Relation.tuple) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 example
+
+let example_rng t example =
+  Random.State.make [| t.seed_base; example_hash example |]
+
 (** [ground_of t example] is the cached ground bottom clause of [example]. *)
 let ground_of t example =
+  Mutex.lock t.lock;
   match Hashtbl.find_opt t.grounds example with
-  | Some g -> g
+  | Some g ->
+      Mutex.unlock t.lock;
+      g
   | None ->
+      Mutex.unlock t.lock;
       let clause =
-        Bottom_clause.build_ground ~config:t.bc_config t.db t.bias ~rng:t.rng
-          ~example
+        Bottom_clause.build_ground ~config:t.bc_config t.db t.bias
+          ~rng:(example_rng t example) ~example
       in
       let g = Logic.Subsumption.ground_of_literals (Logic.Clause.body clause) in
-      Hashtbl.replace t.grounds example g;
+      Mutex.lock t.lock;
+      let g =
+        match Hashtbl.find_opt t.grounds example with
+        | Some g' -> g' (* lost a build race; keep the first insert *)
+        | None ->
+            Hashtbl.replace t.grounds example g;
+            g
+      in
+      Mutex.unlock t.lock;
       g
 
-(** [warm t examples] precomputes ground BCs for [examples] (the paper builds
-    them once, up front). *)
-let warm t examples = List.iter (fun e -> ignore (ground_of t e)) examples
+(** [warm ?pool t examples] precomputes ground BCs for [examples] (the paper
+    builds them once, up front), fanning construction out across [pool] when
+    given. Per-example RNG derivation makes the result independent of the
+    pool size and of scheduling. *)
+let warm ?pool t examples =
+  Parallel.Par.parallel_iter ?pool (fun e -> ignore (ground_of t e)) examples
 
 (** [head_subst clause example] binds the head of [clause] to [example]:
     variables map to the example's constants; constant head arguments must
@@ -85,14 +128,9 @@ let covers t clause example =
 (** [covers_prefix t clause k example] is [covers] restricted to the first
     [k] body literals. *)
 let covers_prefix t clause k example =
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: tl -> x :: take (n - 1) tl
-  in
   let prefix =
     Logic.Clause.make (Logic.Clause.head clause)
-      (take k (Logic.Clause.body clause))
+      (Logic.Util.take k (Logic.Clause.body clause))
   in
   covers t prefix example
 
@@ -103,6 +141,16 @@ let covered t clause examples = List.filter (covers t clause) examples
 (** [count t clause examples] is [List.length (covered t clause examples)]. *)
 let count t clause examples =
   List.fold_left (fun acc e -> if covers t clause e then acc + 1 else acc) 0 examples
+
+(** [covered_many ?pool t clause examples] is {!covered} with the per-example
+    tests fanned out across [pool]; result order is input order. *)
+let covered_many ?pool t clause examples =
+  Parallel.Par.parallel_filter ?pool (covers t clause) examples
+
+(** [count_many ?pool t clause examples] is {!count} with the per-example
+    tests fanned out across [pool]. *)
+let count_many ?pool t clause examples =
+  Parallel.Par.parallel_filter_count ?pool (covers t clause) examples
 
 (** [definition_covers t def example] holds iff some clause of [def] covers
     [example] (Horn-definition coverage, Definition 2.4). *)

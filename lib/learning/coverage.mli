@@ -2,7 +2,13 @@
     (Section 5): clause [C] covers example [e] iff, after binding [C]'s head
     to [e]'s constants, body(C) θ-subsumes the ground BC of [e]. Ground BCs
     are built once per example with the same sampling strategy used for
-    bottom clauses and cached in the context. *)
+    bottom clauses and cached in the context.
+
+    The context is safe to share across domains: the cache sits behind a
+    mutex whose critical sections are just the table operations, and ground
+    BCs are built from a per-example [Random.State] derived from the master
+    seed — so the cache contents are a pure function of (seed, example),
+    independent of pool size, scheduling, and query order. *)
 
 type t
 
@@ -20,9 +26,10 @@ val database : t -> Relational.Database.t
 (** [ground_of t example] — the cached ground bottom clause of [example]. *)
 val ground_of : t -> Relational.Relation.tuple -> Logic.Subsumption.ground
 
-(** [warm t examples] precomputes ground BCs (the paper builds them once, up
-    front). *)
-val warm : t -> Relational.Relation.tuple list -> unit
+(** [warm ?pool t examples] precomputes ground BCs (the paper builds them
+    once, up front), fanning construction across [pool] when given — the
+    resulting cache is identical either way. *)
+val warm : ?pool:Parallel.Pool.t -> t -> Relational.Relation.tuple list -> unit
 
 (** [head_subst clause example] binds the clause head to the example:
     variables map to constants, constant head arguments must match; [None]
@@ -48,6 +55,24 @@ val covered :
 
 (** [count t clause examples] — how many are covered. *)
 val count : t -> Logic.Clause.t -> Relational.Relation.tuple list -> int
+
+(** [covered_many ?pool t clause examples] — {!covered} with per-example
+    tests fanned out across [pool]; result order is input order. *)
+val covered_many :
+  ?pool:Parallel.Pool.t ->
+  t ->
+  Logic.Clause.t ->
+  Relational.Relation.tuple list ->
+  Relational.Relation.tuple list
+
+(** [count_many ?pool t clause examples] — {!count} with per-example tests
+    fanned out across [pool]. Equal to [count] for every pool size. *)
+val count_many :
+  ?pool:Parallel.Pool.t ->
+  t ->
+  Logic.Clause.t ->
+  Relational.Relation.tuple list ->
+  int
 
 (** [definition_covers t def example] — disjunction over clauses
     (Definition 2.4). *)

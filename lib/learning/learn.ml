@@ -45,6 +45,11 @@ type config = {
           first acceptance every seed is tried (the timeout still bounds
           the run). *)
   timeout : float option;  (** seconds of wall clock for the whole run *)
+  pool : Parallel.Pool.t option;
+      (** domain pool for candidate evaluation, acceptance counting and
+          ground-BC warming; [None] runs the sequential code path. Results
+          are identical for every pool size (coverage is deterministic per
+          example), so the pool only changes wall-clock time. *)
 }
 
 let default_config =
@@ -62,6 +67,7 @@ let default_config =
     clause_timeout = Some 10.;
     max_consecutive_skips = 8;
     timeout = Some 600.;
+    pool = None;
   }
 
 type stats = {
@@ -118,20 +124,18 @@ let rate sample full =
   let s = List.length sample and f = List.length full in
   if f = 0 then 1. else float_of_int s /. float_of_int f
 
-let rec take n = function
-  | [] -> []
-  | _ when n = 0 -> []
-  | x :: tl -> x :: take (n - 1) tl
+let take = Logic.Util.take
 
 (* Score-based reduction (in the spirit of Golem's negative-based
    reduction): drop a body literal when the clause's sampled, rate-corrected
    score (positives − negatives covered) does not decrease. Removal only
    generalizes, so positive coverage can only grow; a literal survives only
    if it excludes more (weighted) negatives than the positives it blocks. *)
-let reduce ~cov ~check_deadline ~pos_weight ~neg_weight clause eval_pos eval_neg =
+let reduce ~pool ~cov ~check_deadline ~pos_weight ~neg_weight clause eval_pos
+    eval_neg =
   let score c =
-    (pos_weight *. float_of_int (Coverage.count cov c eval_pos))
-    -. (neg_weight *. float_of_int (Coverage.count cov c eval_neg))
+    (pos_weight *. float_of_int (Coverage.count_many ?pool cov c eval_pos))
+    -. (neg_weight *. float_of_int (Coverage.count_many ?pool cov c eval_neg))
   in
   let head = Logic.Clause.head clause in
   (* One backward pass over the original literals (by-catch accumulates
@@ -190,9 +194,12 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
     in
     split 6 eval_pos
   in
+  (* Staged scoring stays sequential inside one candidate — the early
+     aborts below depend on running the stages in order — while distinct
+     candidates are evaluated on distinct domains by the beam step. *)
   let evaluate clause =
     check_deadline ();
-    incr candidates_evaluated;
+    Atomic.incr candidates_evaluated;
     let p_probe = Coverage.count cov clause probe_pos in
     if p_probe < 2 then
       { clause; pos_covered = p_probe; neg_covered = 0;
@@ -248,7 +255,7 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
     let targets = sample_list rng config.generalization_sample uncovered in
     let seen = Hashtbl.create 16 in
     List.iter (fun s -> Hashtbl.replace seen (clause_key s.clause) ()) !beam;
-    let candidates = ref [] in
+    let collected = ref [] in
     (* Pair the targets and chain ARMG through both (as in ProGolem's
        iterated armg): coverage evaluation dominates the cost, so fewer,
        more-general candidates beat many one-step ones — especially when
@@ -258,6 +265,10 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
       | [ a ] -> [ (a, None) ]
       | [] -> []
     in
+    (* Candidate generation (ARMG chaining + dedup) stays sequential: it is
+       cheap next to evaluation and its RNG-free frontier sweeps need no
+       coordination. The generated candidates are then scored through
+       [parallel_map] — evaluation is the beam step's dominant cost. *)
     List.iter
       (fun entry ->
         List.iter
@@ -280,12 +291,17 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
                 let key = clause_key clause in
                 if not (Hashtbl.mem seen key) then begin
                   Hashtbl.replace seen key ();
-                  candidates := evaluate clause :: !candidates
+                  collected := clause :: !collected
                 end)
           (pairs targets))
       !beam;
-    let pool = !candidates @ !beam in
-    let sorted = List.sort (fun a b -> if better a b then -1 else 1) pool in
+    let candidates =
+      Parallel.Par.parallel_map ?pool:config.pool evaluate
+        (List.rev !collected)
+      |> List.rev
+    in
+    let merged = candidates @ !beam in
+    let sorted = List.sort (fun a b -> if better a b then -1 else 1) merged in
     let min_size_before =
       List.fold_left (fun acc s -> min acc (Logic.Clause.size s.clause)) max_int !beam
     in
@@ -302,7 +318,7 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
     let min_size_after =
       List.fold_left (fun acc s -> min acc (Logic.Clause.size s.clause)) max_int !beam
     in
-    if !candidates = [] || ((not score_improved) && min_size_after >= min_size_before)
+    if candidates = [] || ((not score_improved) && min_size_after >= min_size_before)
     then continue := false
   done;
   (* If the raw bottom clause survived as the winner, give it a real
@@ -329,7 +345,8 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
     then !best
     else begin
       let reduced =
-        reduce ~cov ~check_deadline ~pos_weight ~neg_weight !best.clause
+        reduce ~pool:config.pool ~cov ~check_deadline ~pos_weight ~neg_weight
+          !best.clause
           eval_pos eval_neg
       in
       if Logic.Clause.equal reduced !best.clause then !best else evaluate reduced
@@ -349,7 +366,7 @@ let meets_criterion ~config ~pos_covered ~neg_covered =
 let learn ?(config = default_config) cov ~rng ~positives ~negatives =
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun s -> t0 +. s) config.timeout in
-  let candidates_evaluated = ref 0 in
+  let candidates_evaluated = Atomic.make 0 in
   let definition = ref [] in
   let seeds_skipped = ref 0 in
   let uncovered = ref positives in
@@ -376,10 +393,14 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
              && sample_precision >= config.min_precision
            in
            let pos_covered =
-             if sample_ok then Coverage.count cov best.clause !uncovered else 0
+             if sample_ok then
+               Coverage.count_many ?pool:config.pool cov best.clause !uncovered
+             else 0
            in
            let neg_covered =
-             if sample_ok then Coverage.count cov best.clause negatives else 0
+             if sample_ok then
+               Coverage.count_many ?pool:config.pool cov best.clause negatives
+             else 0
            in
            if sample_ok && meets_criterion ~config ~pos_covered ~neg_covered
            then begin
@@ -389,7 +410,7 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
              consecutive_skips := 0;
              definition := best.clause :: !definition;
              uncovered :=
-               List.filter
+               Parallel.Par.parallel_filter ?pool:config.pool
                  (fun e -> not (Coverage.covers cov best.clause e))
                  !uncovered;
              (* The seed itself may evade its own clause after
@@ -413,7 +434,7 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
     stats =
       {
         clauses = List.length !definition;
-        candidates_evaluated = !candidates_evaluated;
+        candidates_evaluated = Atomic.get candidates_evaluated;
         seeds_skipped = !seeds_skipped;
         elapsed;
         timed_out = !timed_out;

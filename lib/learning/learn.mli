@@ -23,6 +23,12 @@ type config = {
       (** once a clause has been accepted, stop after this many consecutive
           unproductive seeds (pre-acceptance, all seeds are tried) *)
   timeout : float option;  (** wall-clock seconds for the whole run *)
+  pool : Parallel.Pool.t option;
+      (** domain pool for candidate evaluation, acceptance counting and
+          ground-BC warming; [None] (the default) runs sequentially. The
+          learned definition is identical for every pool size on a fixed
+          seed — coverage testing is deterministic per example — so the
+          pool only changes wall-clock time. *)
 }
 
 val default_config : config

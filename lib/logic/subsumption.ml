@@ -18,7 +18,10 @@
 type ground = {
   by_pred : (string, Literal.t array) Hashtbl.t;
   by_pred_pos_value :
-    (string * int * Relational.Value.t, Literal.t list) Hashtbl.t;
+    (string * int * Relational.Value.t, int * Literal.t list) Hashtbl.t;
+      (** buckets carry their cached length: candidate selection compares
+          bucket sizes on every probe of every search node, and recomputing
+          [List.length] there made it O(arity · bucket) per literal *)
   literal_count : int;
 }
 (** A ground clause body, pre-grouped by relation symbol and indexed by
@@ -44,10 +47,11 @@ let ground_of_literals ls =
           match t with
           | Term.Const v ->
               let key = (p, i, v) in
-              let b =
-                try Hashtbl.find by_pred_pos_value key with Not_found -> []
+              let n, b =
+                try Hashtbl.find by_pred_pos_value key
+                with Not_found -> (0, [])
               in
-              Hashtbl.replace by_pred_pos_value key (l :: b)
+              Hashtbl.replace by_pred_pos_value key (n + 1, l :: b)
           | Term.Var _ -> ())
         (Literal.args l))
     ls;
@@ -86,11 +90,10 @@ let candidate_literals g subst lit =
       match bound_value with
       | None -> ()
       | Some v ->
-          let bucket =
+          let len, bucket =
             try Hashtbl.find g.by_pred_pos_value (p, i, v)
-            with Not_found -> []
+            with Not_found -> (0, [])
           in
-          let len = List.length bucket in
           (match !best with
           | Some (blen, _) when blen <= len -> ()
           | _ -> best := Some (len, bucket)))
@@ -239,14 +242,9 @@ let step_frontier ?(cap = default_frontier_cap) g frontier lit =
   let out = ref [] in
   List.iter
     (fun s ->
-      let rec take n = function
-        | [] -> ()
-        | _ when n = 0 -> ()
-        | s' :: tl ->
-            out := s' :: !out;
-            take (n - 1) tl
-      in
-      take per_subst (candidates g s lit))
+      List.iter
+        (fun s' -> out := s' :: !out)
+        (Util.take per_subst (candidates g s lit)))
     frontier;
   (* Deduplication costs |out| log |out| map comparisons; tiny frontiers
      cannot meaningfully explode, so skip it for them. *)

@@ -1,0 +1,8 @@
+(** Small shared helpers for the logic library and its clients. *)
+
+(** [take n l] is the first [n] elements of [l] (all of [l] when it is
+    shorter). [n <= 0] yields the empty list. *)
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl

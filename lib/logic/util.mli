@@ -1,0 +1,5 @@
+(** Small shared helpers for the logic library and its clients. *)
+
+(** [take n l] is the first [n] elements of [l] (all of [l] when it is
+    shorter). [n <= 0] yields the empty list. *)
+val take : int -> 'a list -> 'a list

@@ -1,0 +1,97 @@
+(** Deterministic data-parallel combinators. See par.mli for the contract.
+
+    A job over [n] items keeps a shared [next] index counter (work
+    stealing at item granularity — coverage tests vary wildly in cost, so
+    static chunking would leave domains idle) and a mutex-guarded count of
+    finished items. The caller enqueues at most [Pool.size] helper tasks,
+    then claims items itself until none remain, then sleeps on the job's
+    condition until the stragglers land. Results and exceptions are written
+    into per-index slots: distinct array cells, so no two domains ever race
+    on one location, and the output order is the input order by
+    construction. *)
+
+type job = {
+  inputs_len : int;
+  next : int Atomic.t;
+  errors : exn option array;
+  lock : Mutex.t;
+  all_done : Condition.t;
+  mutable finished : int;
+}
+
+let run_job pool n run_one =
+  let job =
+    {
+      inputs_len = n;
+      next = Atomic.make 0;
+      errors = Array.make n None;
+      lock = Mutex.create ();
+      all_done = Condition.create ();
+      finished = 0;
+    }
+  in
+  let step () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.inputs_len then false
+    else begin
+      (try run_one i with e -> job.errors.(i) <- Some e);
+      Mutex.lock job.lock;
+      job.finished <- job.finished + 1;
+      if job.finished = job.inputs_len then Condition.broadcast job.all_done;
+      Mutex.unlock job.lock;
+      true
+    end
+  in
+  let drain () = while step () do () done in
+  (* [n - 1] helpers at most: the caller claims at least one item itself. *)
+  for _ = 1 to min (Pool.size pool) (n - 1) do
+    Pool.submit pool drain
+  done;
+  drain ();
+  Mutex.lock job.lock;
+  while job.finished < job.inputs_len do
+    Condition.wait job.all_done job.lock
+  done;
+  Mutex.unlock job.lock;
+  (* Deterministic exception propagation: lowest input index wins. *)
+  Array.iter (function Some e -> raise e | None -> ()) job.errors
+
+let parallel_map ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some p ->
+      let inputs = Array.of_list xs in
+      let n = Array.length inputs in
+      if n = 0 then []
+      else begin
+        let results = Array.make n None in
+        run_job p n (fun i -> results.(i) <- Some (f inputs.(i)));
+        Array.to_list
+          (Array.map
+             (function Some v -> v | None -> assert false)
+             results)
+      end
+
+let parallel_iter ?pool f xs =
+  match pool with
+  | None -> List.iter f xs
+  | Some p ->
+      let inputs = Array.of_list xs in
+      let n = Array.length inputs in
+      if n = 0 then () else run_job p n (fun i -> f inputs.(i))
+
+let parallel_filter_count ?pool pred xs =
+  match pool with
+  | None ->
+      List.fold_left (fun acc x -> if pred x then acc + 1 else acc) 0 xs
+  | Some _ ->
+      parallel_map ?pool pred xs
+      |> List.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+
+let parallel_filter ?pool pred xs =
+  match pool with
+  | None -> List.filter pred xs
+  | Some _ ->
+      let flags = parallel_map ?pool pred xs in
+      List.map2 (fun x keep -> (x, keep)) xs flags
+      |> List.filter_map (fun (x, keep) -> if keep then Some x else None)

@@ -1,0 +1,33 @@
+(** Deterministic data-parallel combinators over a {!Pool}.
+
+    Every combinator takes [?pool]. With [None] it runs the plain sequential
+    code path ([List.map] / [List.iter] / a fold), bit-identical to the
+    pre-parallel implementation; with [Some p] the items are fanned out
+    across [p]'s worker domains {e and the calling domain}, which claims
+    items too — so a pool of size 1 uses two domains' worth of compute and,
+    more importantly, a worker that itself calls a combinator on the same
+    pool can never deadlock: the caller always makes progress on its own
+    job.
+
+    Determinism guarantees, regardless of pool size and scheduling:
+    - results land in input order ([parallel_map] is observationally
+      [List.map] whenever [f] is pure per item);
+    - if any application raises, the exception of the {e lowest input
+      index} is re-raised in the caller after all claimed items finish —
+      the same exception the sequential path would surface first. *)
+
+(** [parallel_map ?pool f xs] maps [f] over [xs]; results are in input
+    order. *)
+val parallel_map : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_iter ?pool f xs] applies [f] to every element; [f]'s side
+    effects must be thread-safe under [Some _]. *)
+val parallel_iter : ?pool:Pool.t -> ('a -> unit) -> 'a list -> unit
+
+(** [parallel_filter_count ?pool pred xs] counts the elements satisfying
+    [pred]. *)
+val parallel_filter_count : ?pool:Pool.t -> ('a -> bool) -> 'a list -> int
+
+(** [parallel_filter ?pool pred xs] is [List.filter pred xs], with the
+    predicate applications fanned out; result order is input order. *)
+val parallel_filter : ?pool:Pool.t -> ('a -> bool) -> 'a list -> 'a list

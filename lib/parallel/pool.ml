@@ -1,0 +1,78 @@
+(** Fixed-size domain pool. See pool.mli for the contract.
+
+    One mutex guards the queue and the shutdown flag; workers sleep on a
+    condition variable when the queue is empty. Tasks are [unit -> unit]
+    thunks that must not raise: a stray exception would kill its worker
+    domain silently, so the worker loop drops exceptions defensively (the
+    {!Par} combinators never let one through in the first place). *)
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let max_size = 128
+
+let default_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+let clamp size = max 1 (min max_size size)
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.lock
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      (try task () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?size () =
+  let size = clamp (Option.value size ~default:(default_size ())) in
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = t.size
+
+let submit t task =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Parallel.Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let workers = t.workers in
+  t.stopping <- true;
+  t.workers <- [];
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

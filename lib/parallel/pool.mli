@@ -1,0 +1,35 @@
+(** A fixed-size pool of worker domains (OCaml 5 shared-memory parallelism).
+
+    The pool is created once and reused across the whole run: spawning a
+    domain costs hundreds of microseconds, far more than one coverage test,
+    so the learner's hot loops must amortize it. Workers block on a
+    mutex/condition-guarded task queue; {!submit} never blocks.
+
+    Tasks must not raise — higher-level combinators ({!Par}) wrap user
+    functions and carry exceptions back to the caller themselves. *)
+
+type t
+
+(** [create ?size ()] spawns [size] worker domains. [size] defaults to
+    [Domain.recommended_domain_count () - 1] (the caller's domain
+    participates in {!Par} jobs, so [n] workers saturate [n + 1] cores) and
+    is clamped to [\[1, 128\]]. *)
+val create : ?size:int -> unit -> t
+
+(** [size t] is the number of worker domains. *)
+val size : t -> int
+
+(** [default_size ()] is the size {!create} picks when none is given. *)
+val default_size : unit -> int
+
+(** [submit t task] enqueues [task] for some worker. Never blocks. Raises
+    [Invalid_argument] if the pool was shut down. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** [shutdown t] drains the queue, joins every worker and frees the pool.
+    Idempotent. Submitting after shutdown raises. *)
+val shutdown : t -> unit
+
+(** [with_pool ?size f] runs [f pool] and shuts the pool down afterwards,
+    also on exceptions. *)
+val with_pool : ?size:int -> (t -> 'a) -> 'a

@@ -30,24 +30,50 @@ type options = {
   mutable scale : float option;  (** overrides the per-dataset default *)
   mutable domains : int option;
       (** worker-domain pool size for the learner's parallel paths *)
+  mutable chaos : float option;
+      (** pool fault-injection probability — robustness smoke testing: the
+          run must finish with the same tables, just slower and with a
+          nonzero dropped-task tally in the pool stats *)
+  mutable deadline : float option;
+      (** global anytime deadline shared by every learning run *)
 }
 
 let options =
   { data = [ "uw"; "imdb"; "hiv"; "flt"; "sys" ]; folds = 3; timeout = 30.;
-    seed = 42; scale = None; domains = None }
+    seed = 42; scale = None; domains = None; chaos = None; deadline = None }
 
 (* One pool for the whole run (spawning domains is the expensive part);
-   created on first use when --domains is given, shut down by the driver. *)
+   created on first use when --domains (or --chaos, which needs workers to
+   inject into) is given, shut down by the driver. *)
 let the_pool : Parallel.Pool.t option ref = ref None
 
 let pool () =
-  match (!the_pool, options.domains) with
-  | (Some _ as p), _ -> p
-  | None, None -> None
-  | None, Some n ->
-      let p = Parallel.Pool.create ~size:n () in
+  match (!the_pool, options.domains, options.chaos) with
+  | (Some _ as p), _, _ -> p
+  | None, None, None -> None
+  | None, size, chaos ->
+      let chaos =
+        Option.map
+          (fun p -> Parallel.Fault.create ~p_fault:p ~seed:options.seed ())
+          chaos
+      in
+      let p = Parallel.Pool.create ?size ?chaos () in
       the_pool := Some p;
       Some p
+
+(* One budget for the whole run when --deadline is given: every learning
+   call scopes its own [timeout]-bounded child, so the counters aggregate
+   while per-run clocks stay honest. *)
+let the_budget = ref None
+
+let budget () =
+  match (!the_budget, options.deadline) with
+  | (Some _ as b), _ -> b
+  | None, None -> None
+  | None, Some s ->
+      let b = Budget.create ~deadline:s () in
+      the_budget := Some b;
+      Some b
 
 (* Per-dataset default scales: chosen so the full harness finishes in tens of
    minutes while each dataset keeps its defining regime (UW small, the rest
@@ -68,7 +94,7 @@ let selected_datasets () = List.map (fun n -> (n, generate n)) options.data
 
 let config ?(strategy = Sampling.Strategy.Naive) () =
   { Autobias.default_config with strategy; timeout = Some options.timeout;
-    pool = pool () }
+    budget = budget (); pool = pool () }
 
 let hr () = Fmt.pr "%s@." (String.make 78 '-')
 
@@ -464,6 +490,9 @@ let ablation_noise () =
         (List.length r.Autobias.definition)
         Metrics.pp_row m
         (CV.format_time r.Autobias.learn_time);
+      Option.iter
+        (fun deg -> Fmt.pr "             degradation: %a@." Budget.pp_degradation deg)
+        r.Autobias.degradation;
       Bench_json.record "ablation-noise"
         [ (Printf.sprintf "uw.noise%g.f_measure" (100. *. fraction),
            Bench_json.F m.Metrics.f_measure) ];
@@ -791,11 +820,17 @@ let experiments =
 
 let usage () =
   Fmt.pr
-    "usage: main.exe [EXPERIMENT..] [--data a,b,..] [--folds N] [--timeout S] [--seed N] [--scale F] [--domains N]@.";
+    "usage: main.exe [EXPERIMENT..] [--data a,b,..] [--folds N] [--timeout S] [--seed N] [--scale F] [--domains N] [--chaos P] [--deadline S]@.";
   Fmt.pr "experiments: %s (default: all)@."
     (String.concat " " (List.map fst experiments));
   Fmt.pr
-    "--domains N runs the learner's hot paths on an N-worker domain pool@."
+    "--domains N runs the learner's hot paths on an N-worker domain pool@.";
+  Fmt.pr
+    "--chaos P kills each queued pool job with probability P (seeded);\n\
+     the tables must come out identical, with faults tallied in the pool stats@.";
+  Fmt.pr
+    "--deadline S bounds the whole run: learners return best-so-far\n\
+     definitions and report their degradation counters@."
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -818,6 +853,12 @@ let () =
         parse chosen rest
     | "--domains" :: v :: rest ->
         options.domains <- Some (int_of_string v);
+        parse chosen rest
+    | "--chaos" :: v :: rest ->
+        options.chaos <- Some (float_of_string v);
+        parse chosen rest
+    | "--deadline" :: v :: rest ->
+        options.deadline <- Some (float_of_string v);
         parse chosen rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -844,7 +885,20 @@ let () =
       ("cores_recommended", Bench_json.I (Domain.recommended_domain_count ()));
       ("experiments", Bench_json.S (String.concat "," chosen)) ];
   List.iter (fun name -> (List.assoc name experiments) ()) chosen;
-  (match !the_pool with Some p -> Parallel.Pool.shutdown p | None -> ());
+  (match !the_pool with
+  | Some p ->
+      let s = Parallel.Pool.stats p in
+      Fmt.pr "@.pool: %d domains, %d tasks run, %d faults dropped@."
+        s.Parallel.Pool.size s.Parallel.Pool.tasks_run s.Parallel.Pool.dropped;
+      Bench_json.set_meta
+        [ ("pool_tasks_run", Bench_json.I s.Parallel.Pool.tasks_run);
+          ("pool_dropped", Bench_json.I s.Parallel.Pool.dropped) ];
+      Parallel.Pool.shutdown p
+  | None -> ());
+  (match !the_budget with
+  | Some b ->
+      Fmt.pr "budget: %a@." Budget.pp_degradation (Budget.degradation b)
+  | None -> ());
   let total = Unix.gettimeofday () -. t0 in
   Bench_json.set_meta [ ("total_bench_time_s", Bench_json.F total) ];
   Bench_json.write "BENCH_autobias.json";

@@ -43,12 +43,59 @@ let timeout_arg =
   let doc = "Learning timeout in seconds (per run/fold)." in
   Arg.(value & opt float 120. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
 
+let deadline_arg =
+  let doc =
+    "Global wall-clock deadline for the whole command in seconds. The \
+     learner is anytime: when the deadline passes it stops dispatching \
+     work, returns the definition accumulated so far, and reports the \
+     degradation (beam rounds cut, candidates abandoned, ...)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let domains_arg =
+  let doc =
+    "Worker domains for parallel coverage testing (0 = sequential; \
+     default picks one per spare core when --chaos forces a pool)."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let chaos_arg =
+  let doc =
+    "Fault-injection probability for pool workers (testing): each queued \
+     job is killed with probability $(docv) under a seeded RNG. The run \
+     must still terminate with a valid definition; dropped jobs show up \
+     in the pool stats and the worker-fault counter."
+  in
+  Arg.(value & opt (some float) None & info [ "chaos" ] ~docv:"P" ~doc)
+
 let config ~strategy ~timeout =
   {
     Autobias.default_config with
     strategy = Sampling.Strategy.of_string strategy;
     timeout = Some timeout;
   }
+
+(* Build the budget / pool a command asked for and pass them down; the pool
+   is shut down (domains joined) before returning, also on exceptions. *)
+let with_resources ~seed ~deadline ~domains ~chaos k =
+  let budget = Option.map (fun s -> Budget.create ~deadline:s ()) deadline in
+  let fault = Option.map (fun p -> Parallel.Fault.create ~p_fault:p ~seed ()) chaos in
+  match (domains, fault) with
+  | (None | Some 0), None -> k ~budget None
+  | size, _ ->
+      let size = match size with Some n when n > 0 -> Some n | _ -> None in
+      Parallel.Pool.with_pool ?size ?chaos:fault (fun p -> k ~budget (Some p))
+
+let report_run ~budget pool =
+  (match pool with
+  | Some p ->
+      let s = Parallel.Pool.stats p in
+      Fmt.pr "pool: %d domains, %d tasks run, %d faults dropped@."
+        s.Parallel.Pool.size s.Parallel.Pool.tasks_run s.Parallel.Pool.dropped
+  | None -> ());
+  Option.iter
+    (fun b -> Fmt.pr "budget: %a@." Budget.pp_degradation (Budget.degradation b))
+    budget
 
 (* ---------------- learn ---------------- *)
 
@@ -68,10 +115,12 @@ let load_definition path =
   Logic.Parser.definition contents
 
 let learn_cmd =
-  let run dataset_name method_name strategy scale seed timeout cv show_bias output =
+  let run dataset_name method_name strategy scale seed timeout deadline domains
+      chaos cv show_bias output =
     let dataset = dataset_of_name ~scale ~seed dataset_name in
     let method_ = Autobias.method_of_string method_name in
-    let config = config ~strategy ~timeout in
+    with_resources ~seed ~deadline ~domains ~chaos @@ fun ~budget pool ->
+    let config = { (config ~strategy ~timeout) with budget; pool } in
     Fmt.pr "%a" Datasets.Dataset.summary dataset;
     if cv then begin
       let result = Autobias.cross_validate ~config method_ dataset ~seed in
@@ -79,7 +128,8 @@ let learn_cmd =
         (Autobias.method_to_string method_)
         dataset_name
         (List.length result.Evaluation.Cross_validation.folds)
-        Evaluation.Cross_validation.pp_result result
+        Evaluation.Cross_validation.pp_result result;
+      report_run ~budget pool
     end
     else begin
       let rng = Random.State.make [| seed |] in
@@ -97,6 +147,10 @@ let learn_cmd =
         r.Autobias.learn_time
         (if r.Autobias.timed_out then " (timed out)" else "")
         Logic.Clause.pp_definition r.Autobias.definition;
+      Option.iter
+        (fun d -> Fmt.pr "degradation: %a@." Budget.pp_degradation d)
+        r.Autobias.degradation;
+      report_run ~budget:None pool;
       let cov =
         Autobias.coverage_context config dataset
           r.Autobias.bias_info.Autobias.bias ~rng
@@ -127,7 +181,8 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"learn a Horn definition of a dataset's target")
     Term.(
       const run $ dataset_arg $ method_arg $ strategy_arg $ scale_arg $ seed_arg
-      $ timeout_arg $ cv_arg $ show_bias_arg $ output_arg)
+      $ timeout_arg $ deadline_arg $ domains_arg $ chaos_arg $ cv_arg
+      $ show_bias_arg $ output_arg)
 
 (* ---------------- bias ---------------- *)
 

@@ -54,6 +54,10 @@ type config = {
   ind_max_error : float;  (** α for approximate INDs *)
   use_approximate_inds : bool;  (** ablation knob; the paper always uses them *)
   subsumption : Logic.Subsumption.config;
+  budget : Budget.t option;
+      (** run governance: cancelling it stops any learning entry point
+          cooperatively; its counters aggregate across folds. Each run still
+          scopes its own [timeout]-bounded child. [None] = private budgets. *)
   pool : Parallel.Pool.t option;
       (** domain pool threaded into the learner's hot paths (candidate
           evaluation, acceptance counting, CV folds); [None] = sequential *)
@@ -77,6 +81,7 @@ let default_config =
     ind_max_error = 0.5;
     use_approximate_inds = true;
     subsumption = Logic.Subsumption.default_config;
+    budget = None;
     pool = None;
   }
 
@@ -139,6 +144,7 @@ let learn_config config =
     max_consecutive_skips =
       Learning.Learn.default_config.Learning.Learn.max_consecutive_skips;
     timeout = config.timeout;
+    budget = config.budget;
     pool = config.pool;
   }
 
@@ -162,6 +168,9 @@ type run_result = {
   bias_info : bias_info;
   learn_time : float;
   timed_out : bool;
+  degradation : Budget.degradation option;
+      (** budget accounting for the run; [None] only for the {!Foil}
+          baseline, which predates the governance layer *)
 }
 
 (** [learn_once ?config method_ dataset ~rng ~train_pos ~train_neg] learns a
@@ -171,25 +180,28 @@ let learn_once ?(config = default_config) method_ dataset ~rng ~train_pos
   let bias_info = bias_for method_ config dataset ~train_pos in
   let cov = coverage_context config dataset bias_info.bias ~rng in
   let t0 = Unix.gettimeofday () in
-  let definition, timed_out =
+  let definition, timed_out, degradation =
     match method_ with
     | Foil ->
         let r = Baselines.Foil.learn ~config:(foil_config config) cov
             ~positives:train_pos ~negatives:train_neg
         in
-        (r.Baselines.Foil.definition, r.Baselines.Foil.timed_out)
+        (r.Baselines.Foil.definition, r.Baselines.Foil.timed_out, None)
     | Castor | No_const | Manual | Auto_bias ->
         let r =
           Learning.Learn.learn ~config:(learn_config config) cov ~rng
             ~positives:train_pos ~negatives:train_neg
         in
-        (r.Learning.Learn.definition, r.Learning.Learn.stats.Learning.Learn.timed_out)
+        ( r.Learning.Learn.definition,
+          r.Learning.Learn.stats.Learning.Learn.timed_out,
+          Some r.Learning.Learn.degradation )
   in
   {
     definition;
     bias_info;
     learn_time = Unix.gettimeofday () -. t0;
     timed_out;
+    degradation;
   }
 
 (** [cross_validate ?config ?k method_ dataset ~seed] runs the dataset's

@@ -35,6 +35,11 @@ type config = {
   ind_max_error : float;  (** α for approximate INDs (paper: 0.5) *)
   use_approximate_inds : bool;  (** ablation knob; the paper always uses them *)
   subsumption : Logic.Subsumption.config;
+  budget : Budget.t option;
+      (** run governance (deadline + cancellation + degradation counters):
+          cancelling it stops any learning entry point cooperatively; each
+          run still scopes its own [timeout]-bounded child. [None] (the
+          default) gives every run a private budget. *)
   pool : Parallel.Pool.t option;
       (** domain pool threaded into the learner's hot paths (candidate
           evaluation, acceptance counting, CV folds); [None] = sequential.
@@ -77,6 +82,8 @@ type run_result = {
   bias_info : bias_info;
   learn_time : float;
   timed_out : bool;
+  degradation : Budget.degradation option;
+      (** budget accounting; [None] only for the {!Foil} baseline *)
 }
 
 (** [learn_once ?config method_ dataset ~rng ~train_pos ~train_neg] learns a

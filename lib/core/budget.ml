@@ -1,0 +1,177 @@
+(** Resource governance: deadline + cancellation token + degradation
+    counters. See budget.mli for the contract.
+
+    The whole structure is built from atomics so that pool workers on other
+    domains can check the flag and bump counters without taking a lock. A
+    {!scope} child shares the parent's [cancelled] atomic and counter cells
+    (same physical arrays), so cancellation and accounting aggregate across
+    an entire run while each scope keeps its own, possibly tighter,
+    deadline. *)
+
+type status = Completed | Deadline_hit | Cancelled
+
+let equal_status (a : status) b = a = b
+
+let status_to_string = function
+  | Completed -> "completed"
+  | Deadline_hit -> "deadline_hit"
+  | Cancelled -> "cancelled"
+
+let pp_status ppf s = Format.pp_print_string ppf (status_to_string s)
+
+exception Expired of status
+
+(* Monotonized wall clock: gettimeofday can step backwards under NTP; a
+   deadline that un-expires would let a "returned by the deadline" guarantee
+   silently lapse. A CAS max over the last observed value keeps [now]
+   non-decreasing process-wide. *)
+let last_now = Atomic.make 0.
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let rec bump () =
+    let prev = Atomic.get last_now in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last_now prev t then t
+    else bump ()
+  in
+  bump ()
+
+type event =
+  | Subsumption_try
+  | Subsumption_restart
+  | Subsumption_exhausted
+  | Coverage_truncated
+  | Beam_cut
+  | Candidate_abandoned
+  | Job_skipped
+  | Worker_fault
+
+let event_index = function
+  | Subsumption_try -> 0
+  | Subsumption_restart -> 1
+  | Subsumption_exhausted -> 2
+  | Coverage_truncated -> 3
+  | Beam_cut -> 4
+  | Candidate_abandoned -> 5
+  | Job_skipped -> 6
+  | Worker_fault -> 7
+
+let n_events = 8
+
+type t = {
+  deadline : float option;  (** absolute, per scope *)
+  cancelled : bool Atomic.t;  (** shared across scopes *)
+  cells : int Atomic.t array;  (** shared across scopes *)
+}
+
+let create ?deadline () =
+  {
+    deadline = Option.map (fun s -> now () +. s) deadline;
+    cancelled = Atomic.make false;
+    cells = Array.init n_events (fun _ -> Atomic.make 0);
+  }
+
+let scope ?deadline parent =
+  let own = Option.map (fun s -> now () +. s) deadline in
+  let deadline =
+    match (parent.deadline, own) with
+    | None, d | d, None -> d
+    | Some a, Some b -> Some (min a b)
+  in
+  { deadline; cancelled = parent.cancelled; cells = parent.cells }
+
+let deadline_at t = t.deadline
+
+let time_left t = Option.map (fun d -> Float.max 0. (d -. now ())) t.deadline
+
+let cancel t = Atomic.set t.cancelled true
+
+let is_cancelled t = Atomic.get t.cancelled
+
+let past_deadline t =
+  match t.deadline with Some d -> now () > d | None -> false
+
+let expired t = is_cancelled t || past_deadline t
+
+let status t =
+  if is_cancelled t then Cancelled
+  else if past_deadline t then Deadline_hit
+  else Completed
+
+let check t = match status t with Completed -> () | st -> raise (Expired st)
+
+let hit t e = Atomic.incr t.cells.(event_index e)
+
+let add t e n = if n > 0 then ignore (Atomic.fetch_and_add t.cells.(event_index e) n)
+
+let hit_opt b e = Option.iter (fun t -> hit t e) b
+
+type counters = {
+  subsumption_tries : int;
+  subsumption_restarts : int;
+  subsumption_exhausted : int;
+  coverage_truncated : int;
+  beam_rounds_cut : int;
+  candidates_abandoned : int;
+  jobs_skipped : int;
+  worker_faults : int;
+}
+
+let counters t =
+  let get e = Atomic.get t.cells.(event_index e) in
+  {
+    subsumption_tries = get Subsumption_try;
+    subsumption_restarts = get Subsumption_restart;
+    subsumption_exhausted = get Subsumption_exhausted;
+    coverage_truncated = get Coverage_truncated;
+    beam_rounds_cut = get Beam_cut;
+    candidates_abandoned = get Candidate_abandoned;
+    jobs_skipped = get Job_skipped;
+    worker_faults = get Worker_fault;
+  }
+
+let zero =
+  {
+    subsumption_tries = 0;
+    subsumption_restarts = 0;
+    subsumption_exhausted = 0;
+    coverage_truncated = 0;
+    beam_rounds_cut = 0;
+    candidates_abandoned = 0;
+    jobs_skipped = 0;
+    worker_faults = 0;
+  }
+
+let counters_leq a b =
+  a.subsumption_tries <= b.subsumption_tries
+  && a.subsumption_restarts <= b.subsumption_restarts
+  && a.subsumption_exhausted <= b.subsumption_exhausted
+  && a.coverage_truncated <= b.coverage_truncated
+  && a.beam_rounds_cut <= b.beam_rounds_cut
+  && a.candidates_abandoned <= b.candidates_abandoned
+  && a.jobs_skipped <= b.jobs_skipped
+  && a.worker_faults <= b.worker_faults
+
+let pp_counters ppf c =
+  Fmt.pf ppf
+    "subsumption %d tries / %d restarts / %d gave up; frontier truncations \
+     %d; beam rounds cut %d; candidates abandoned %d; jobs skipped %d; \
+     worker faults %d"
+    c.subsumption_tries c.subsumption_restarts c.subsumption_exhausted
+    c.coverage_truncated c.beam_rounds_cut c.candidates_abandoned
+    c.jobs_skipped c.worker_faults
+
+type degradation = {
+  status : status;
+  counters : counters;
+}
+
+let degradation ?status:st t =
+  { status = (match st with Some s -> s | None -> status t);
+    counters = counters t }
+
+let pp_degradation ppf d =
+  Fmt.pf ppf "%s (%a)" (status_to_string d.status) pp_counters d.counters
+
+let degradation_to_string d = Fmt.str "%a" pp_degradation d

@@ -1,0 +1,130 @@
+(** Resource governance for the learner: a deadline, a cooperative
+    cancellation token, and degradation counters — the contract that makes
+    every learning entry point {e anytime}: a call always returns within its
+    deadline with the best answer found so far, and reports exactly how
+    degraded that answer is.
+
+    A [Budget.t] is cheap to share: the cancellation flag and the counters
+    are atomics, safe to touch from any domain (pool workers check the flag
+    between jobs; {!Subsumption} and {!Coverage} bump counters from inside
+    coverage tests). {!scope} derives a child budget with a tighter deadline
+    that still shares the parent's flag and counters — one token cancels a
+    whole cross-validation run, while each fold keeps its own per-fold
+    deadline. *)
+
+type t
+
+(** Why a run ended. [Completed] means no resource limit fired. *)
+type status = Completed | Deadline_hit | Cancelled
+
+val equal_status : status -> status -> bool
+val status_to_string : status -> string
+val pp_status : Format.formatter -> status -> unit
+
+exception Expired of status
+(** Raised by {!check}; never [Expired Completed]. *)
+
+(** [create ?deadline ()] is a fresh budget; [deadline] is wall-clock
+    seconds from now ([None] = unbounded). *)
+val create : ?deadline:float -> unit -> t
+
+(** [scope ?deadline parent] is a child budget sharing [parent]'s
+    cancellation flag and counters, whose deadline is the earlier of
+    [parent]'s and now + [deadline]. Cancelling either cancels both. *)
+val scope : ?deadline:float -> t -> t
+
+(** [now ()] is a monotonized [Unix.gettimeofday]: the value never
+    decreases across calls, even if the system clock steps backwards. *)
+val now : unit -> float
+
+(** [deadline_at t] is the absolute expiry time, if any. *)
+val deadline_at : t -> float option
+
+(** [time_left t] is the seconds until the deadline, clamped at [0.];
+    [None] when unbounded. *)
+val time_left : t -> float option
+
+(** [cancel t] sets the (shared) cancellation flag. Idempotent, safe from
+    any domain. Cooperative: running jobs finish, no new work starts. *)
+val cancel : t -> unit
+
+val is_cancelled : t -> bool
+
+(** [expired t] — cancelled, or past the deadline. *)
+val expired : t -> bool
+
+(** [status t] — [Cancelled] wins over [Deadline_hit] wins over
+    [Completed]. *)
+val status : t -> status
+
+(** [check t] raises {!Expired} when [expired t]. *)
+val check : t -> unit
+
+(** {1 Degradation counters}
+
+    Every counter is monotone non-decreasing and shared across {!scope}
+    children. Components report {e how} they degraded the answer instead of
+    silently under-approximating. *)
+
+type event =
+  | Subsumption_try  (** one budgeted backtracking attempt started *)
+  | Subsumption_restart  (** a randomized restart after budget exhaustion *)
+  | Subsumption_exhausted
+      (** every restart ran out of nodes: the test {e gave up} (answered
+          "no" without proving it) rather than proved no subsumption *)
+  | Coverage_truncated
+      (** a substitution frontier overflowed its cap and was subsampled *)
+  | Beam_cut  (** a beam search was cut by a deadline before converging *)
+  | Candidate_abandoned
+      (** a generated candidate clause was never evaluated *)
+  | Job_skipped  (** a parallel job slot skipped after expiry *)
+  | Worker_fault  (** a pool worker dropped an exception during the run *)
+
+(** [hit t e] bumps [e]'s counter by one. Lock-free. *)
+val hit : t -> event -> unit
+
+(** [add t e n] bumps [e]'s counter by [n]. *)
+val add : t -> event -> int -> unit
+
+(** [hit_opt b e] is [hit] through an optional budget (no-op on [None]) —
+    the shape the [?budget] threading uses. *)
+val hit_opt : t option -> event -> unit
+
+type counters = {
+  subsumption_tries : int;
+  subsumption_restarts : int;
+  subsumption_exhausted : int;
+  coverage_truncated : int;
+  beam_rounds_cut : int;
+  candidates_abandoned : int;
+  jobs_skipped : int;
+  worker_faults : int;
+}
+
+(** [counters t] is a consistent-enough snapshot (each cell is read
+    atomically; cells are independent). *)
+val counters : t -> counters
+
+val zero : counters
+
+(** [counters_leq a b] — every counter of [a] is [<=] its counter in [b]
+    (the monotonicity the qcheck property asserts). *)
+val counters_leq : counters -> counters -> bool
+
+val pp_counters : Format.formatter -> counters -> unit
+
+(** {1 Degradation record} — how a finished run should be read. *)
+
+type degradation = {
+  status : status;
+  counters : counters;
+}
+
+(** [degradation ?status t] snapshots [t]; [status] defaults to
+    [status t] but callers that captured {e why} their loop exited pass it
+    explicitly (a deadline elapsing a microsecond after natural completion
+    must still read [Completed]). *)
+val degradation : ?status:status -> t -> degradation
+
+val pp_degradation : Format.formatter -> degradation -> unit
+val degradation_to_string : degradation -> string

@@ -28,10 +28,13 @@ type t = {
   seed_base : int;  (** master seed for per-example ground-BC RNGs *)
   grounds : (Relational.Relation.tuple, Logic.Subsumption.ground) Hashtbl.t;
   lock : Mutex.t;  (** guards [grounds] *)
+  budget : Budget.t option;
+      (** sink for degradation counters (frontier truncations); never
+          changes any coverage verdict *)
 }
 
 let create ?(sub_config = Logic.Subsumption.default_config)
-    ?(bc_config = Bottom_clause.default_config) db bias ~rng =
+    ?(bc_config = Bottom_clause.default_config) ?budget db bias ~rng =
   {
     db;
     bias;
@@ -40,7 +43,14 @@ let create ?(sub_config = Logic.Subsumption.default_config)
     seed_base = Random.State.bits rng;
     grounds = Hashtbl.create 256;
     lock = Mutex.create ();
+    budget;
   }
+
+(** [with_budget t budget] is [t] reporting into [budget]: a shallow copy
+    sharing the ground-BC cache (and its mutex), so concurrent learns — CV
+    folds on one scoring context — each get their own counters without
+    duplicating cached work. *)
+let with_budget t budget = { t with budget = Some budget }
 
 let bias t = t.bias
 let database t = t.db
@@ -117,7 +127,7 @@ let eval t clause example =
   | None -> Logic.Subsumption.Blocked 0
   | Some subst ->
       let g = ground_of t example in
-      Logic.Subsumption.eval_prefix ~subst clause g
+      Logic.Subsumption.eval_prefix ?budget:t.budget ~subst clause g
 
 (** [covers t clause example] tests whether [clause] covers [example]. *)
 let covers t clause example =

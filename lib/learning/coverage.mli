@@ -12,13 +12,21 @@
 
 type t
 
+(** [?budget] is a sink for degradation counters (frontier truncations);
+    it never changes any coverage verdict. *)
 val create :
   ?sub_config:Logic.Subsumption.config ->
   ?bc_config:Bottom_clause.config ->
+  ?budget:Budget.t ->
   Relational.Database.t ->
   Bias.Language.t ->
   rng:Random.State.t ->
   t
+
+(** [with_budget t budget] is [t] reporting into [budget]: a shallow copy
+    sharing the ground-BC cache (and its mutex) — concurrent learns each
+    get their own counters without duplicating cached work. *)
+val with_budget : t -> Budget.t -> t
 
 val bias : t -> Bias.Language.t
 val database : t -> Relational.Database.t

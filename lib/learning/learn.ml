@@ -19,9 +19,15 @@
     their covered positives are removed; seeds whose best clause fails the
     criterion are set aside so learning always progresses.
 
-    A wall-clock budget bounds the whole run; on expiry the definition
-    learned so far is returned with [timed_out = true], mirroring the paper's
-    ">10h" rows. *)
+    The whole run is governed by a {!Budget.t}: a wall-clock deadline plus a
+    cooperative cancellation token, checked at item granularity (one
+    candidate evaluation, one reduction step, one covering iteration). On
+    expiry the search {e winds down} instead of aborting — in-flight
+    coverage tests finish, skipped candidates are counted, and the
+    definition accumulated so far comes back tagged with a structured
+    {!Budget.degradation} record saying why the run ended
+    (completed / deadline_hit / cancelled) and exactly what was cut. The
+    legacy [timed_out] flag mirrors the paper's ">10h" rows. *)
 
 type config = {
   bc : Bottom_clause.config;  (** bottom-clause depth/sample/strategy *)
@@ -45,6 +51,12 @@ type config = {
           first acceptance every seed is tried (the timeout still bounds
           the run). *)
   timeout : float option;  (** seconds of wall clock for the whole run *)
+  budget : Budget.t option;
+      (** externally supplied governance: cancelling it stops the run
+          cooperatively from any domain, and its counters aggregate across
+          runs that share it (e.g. CV folds). [learn] always scopes a
+          per-call child from it, so [timeout] still bounds each call;
+          [None] gives every call a private budget. *)
   pool : Parallel.Pool.t option;
       (** domain pool for candidate evaluation, acceptance counting and
           ground-BC warming; [None] runs the sequential code path. Results
@@ -67,6 +79,7 @@ let default_config =
     clause_timeout = Some 10.;
     max_consecutive_skips = 8;
     timeout = Some 600.;
+    budget = None;
     pool = None;
   }
 
@@ -81,9 +94,9 @@ type stats = {
 type result = {
   definition : Logic.Clause.definition;
   stats : stats;
+  degradation : Budget.degradation;
+      (** why the run ended and what was cut getting there *)
 }
-
-exception Timed_out
 
 type scored = {
   clause : Logic.Clause.t;
@@ -131,7 +144,7 @@ let take = Logic.Util.take
    score (positives − negatives covered) does not decrease. Removal only
    generalizes, so positive coverage can only grow; a literal survives only
    if it excludes more (weighted) negatives than the positives it blocks. *)
-let reduce ~pool ~cov ~check_deadline ~pos_weight ~neg_weight clause eval_pos
+let reduce ~pool ~cov ~budget ~pos_weight ~neg_weight clause eval_pos
     eval_neg =
   let score c =
     (pos_weight *. float_of_int (Coverage.count_many ?pool cov c eval_pos))
@@ -146,8 +159,9 @@ let reduce ~pool ~cov ~check_deadline ~pos_weight ~neg_weight clause eval_pos
   let current_score = ref (score clause) in
   List.iter
     (fun lit ->
-      if List.memq lit !current then begin
-        check_deadline ();
+      (* Expiry mid-reduction keeps whatever is already pruned: removal only
+         generalizes, so the partially reduced clause is still valid. *)
+      if List.memq lit !current && not (Budget.expired budget) then begin
         let candidate_body = List.filter (fun l -> not (l == lit)) !current in
         let candidate =
           Logic.Clause.prune_head_connected
@@ -162,13 +176,8 @@ let reduce ~pool ~cov ~check_deadline ~pos_weight ~neg_weight clause eval_pos
     (List.rev (Logic.Clause.body clause));
   Logic.Clause.make head !current
 
-let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
+let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
     ~negatives ~seed =
-  let check_deadline () =
-    match deadline with
-    | Some d when Unix.gettimeofday () > d -> raise Timed_out
-    | _ -> ()
-  in
   (* Fixed ranking subsamples for this clause search: relative scores stay
      comparable across candidates. The seed always participates. *)
   let eval_pos =
@@ -198,7 +207,6 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
      aborts below depend on running the stages in order — while distinct
      candidates are evaluated on distinct domains by the beam step. *)
   let evaluate clause =
-    check_deadline ();
     Atomic.incr candidates_evaluated;
     let p_probe = Coverage.count cov clause probe_pos in
     if p_probe < 2 then
@@ -249,9 +257,11 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
     | Some d -> Unix.gettimeofday () < d
     | None -> true
   in
-  while !continue && !steps < config.max_beam_steps && clause_time_left () do
+  while
+    !continue && !steps < config.max_beam_steps && clause_time_left ()
+    && not (Budget.expired budget)
+  do
     incr steps;
-    check_deadline ();
     let targets = sample_list rng config.generalization_sample uncovered in
     let seen = Hashtbl.create 16 in
     List.iter (fun s -> Hashtbl.replace seen (clause_key s.clause) ()) !beam;
@@ -273,7 +283,6 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
       (fun entry ->
         List.iter
           (fun (ea, eb) ->
-            check_deadline ();
             let chained =
               match Armg.generalize cov entry.clause ~example:ea with
               | None -> None
@@ -295,11 +304,18 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
                 end)
           (pairs targets))
       !beam;
-    let candidates =
-      Parallel.Par.parallel_map ?pool:config.pool evaluate
+    (* Anytime evaluation: on expiry mid-round, candidates already being
+       scored finish (one-job granularity) and the rest come back [None] —
+       counted as abandoned, never half-scored. With a live budget this is
+       exactly the old [parallel_map], so generous-deadline runs are
+       bit-identical to pre-governance ones. *)
+    let outcomes =
+      Parallel.Par.parallel_map_anytime ?pool:config.pool ~budget evaluate
         (List.rev !collected)
-      |> List.rev
     in
+    let candidates = List.rev (List.filter_map Fun.id outcomes) in
+    Budget.add budget Budget.Candidate_abandoned
+      (List.length outcomes - List.length candidates);
     let merged = candidates @ !beam in
     let sorted = List.sort (fun a b -> if better a b then -1 else 1) merged in
     let min_size_before =
@@ -318,15 +334,29 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
     let min_size_after =
       List.fold_left (fun acc s -> min acc (Logic.Clause.size s.clause)) max_int !beam
     in
-    if candidates = [] || ((not score_improved) && min_size_after >= min_size_before)
+    (* An expiring budget starves this round of candidates; that is a cut
+       beam, not convergence — leave [continue] set so the wind-down below
+       attributes the stop to the deadline. *)
+    if
+      (not (Budget.expired budget))
+      && (candidates = []
+         || ((not score_improved) && min_size_after >= min_size_before))
     then continue := false
   done;
+  (* A beam that still wanted to iterate but lost its clock (global budget
+     or per-clause timeout) was cut short of convergence; the counter is
+     what distinguishes "this seed converged" from "we ran out of time". *)
+  if
+    !continue && !steps < config.max_beam_steps
+    && (Budget.expired budget || not (clause_time_left ()))
+  then Budget.hit budget Budget.Beam_cut;
   (* If the raw bottom clause survived as the winner, give it a real
      evaluation: its placeholder score assumed it covers only its seed, but
      on small example sets a bottom clause can legitimately cover several
      positives. Failing evaluations die on the first blocked literal, so
      this is cheap for genuinely hopeless seeds. *)
-  if !best.clause == bottom then best := evaluate bottom;
+  if !best.clause == bottom && not (Budget.expired budget) then
+    best := evaluate bottom;
   (* Reduce the winner, then re-score it on the ranking samples so callers
      see consistent numbers; acceptance re-checks on the full sets anyway.
      Winners that already fail the minimum criterion on the ranking sample
@@ -340,12 +370,13 @@ let learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated ~uncovered
   in
   let final =
     if
-      !best.pos_covered < config.min_positives
+      Budget.expired budget
+      || !best.pos_covered < config.min_positives
       || sample_precision !best < config.min_precision
     then !best
     else begin
       let reduced =
-        reduce ~pool:config.pool ~cov ~check_deadline ~pos_weight ~neg_weight
+        reduce ~pool:config.pool ~cov ~budget ~pos_weight ~neg_weight
           !best.clause
           eval_pos eval_neg
       in
@@ -362,27 +393,52 @@ let meets_criterion ~config ~pos_covered ~neg_covered =
   && float_of_int pos_covered /. float_of_int covered >= config.min_precision
 
 (** [learn ?config cov ~rng ~positives ~negatives] runs Algorithm 1 and
-    returns the learned Horn definition with run statistics. *)
+    returns the learned Horn definition with run statistics and the
+    degradation record saying why the run ended. *)
 let learn ?(config = default_config) cov ~rng ~positives ~negatives =
   let t0 = Unix.gettimeofday () in
-  let deadline = Option.map (fun s -> t0 +. s) config.timeout in
+  (* Always scope a per-call child: [config.timeout] bounds this call even
+     when the caller's budget is shared across many (e.g. CV folds), while
+     cancellation and counters stay aggregated on the shared cells. *)
+  let budget =
+    match config.budget with
+    | Some b -> Budget.scope ?deadline:config.timeout b
+    | None -> Budget.create ?deadline:config.timeout ()
+  in
+  let cov = Coverage.with_budget cov budget in
+  let faults_before =
+    match config.pool with
+    | Some p -> (Parallel.Pool.stats p).dropped
+    | None -> 0
+  in
   let candidates_evaluated = Atomic.make 0 in
   let definition = ref [] in
   let seeds_skipped = ref 0 in
   let uncovered = ref positives in
-  let timed_out = ref false in
   let consecutive_skips = ref 0 in
+  (* Why the covering loop exited. Captured at the decision point rather
+     than re-derived afterwards: a deadline elapsing a microsecond after
+     natural completion must still read [Completed]. *)
+  let status = ref Budget.Completed in
+  let live () =
+    match Budget.status budget with
+    | Budget.Completed -> true
+    | st ->
+        status := st;
+        false
+  in
   (try
      while
        !uncovered <> []
        && List.length !definition < config.max_clauses
        && (!definition = [] || !consecutive_skips < config.max_consecutive_skips)
+       && live ()
      do
        match !uncovered with
        | [] -> assert false
        | seed :: _ ->
            let best, sample_precision =
-             learn_clause ~config ~cov ~rng ~deadline ~candidates_evaluated
+             learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated
                ~uncovered:!uncovered ~negatives ~seed
            in
            (* Acceptance uses the full training set, not the ranking
@@ -391,6 +447,11 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
            let sample_ok =
              best.pos_covered >= config.min_positives
              && sample_precision >= config.min_precision
+             (* a clause whose search was cut mid-flight never gets the
+                full-training acceptance pass: the definition built so far
+                is returned as-is rather than padded with a half-searched
+                clause after the deadline *)
+             && not (Budget.expired budget)
            in
            let pos_covered =
              if sample_ok then
@@ -427,7 +488,16 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
              uncovered := List.filter (fun e -> e != seed) !uncovered
            end
      done
-   with Timed_out -> timed_out := true);
+   with Budget.Expired st ->
+     (* nothing in this module raises it, but budget-aware callees may;
+        treat it as the cooperative stop it is *)
+     status := st);
+  (match config.pool with
+  | Some p ->
+      Budget.add budget Budget.Worker_fault
+        ((Parallel.Pool.stats p).dropped - faults_before)
+  | None -> ());
+  let degradation = Budget.degradation ~status:!status budget in
   let elapsed = Unix.gettimeofday () -. t0 in
   {
     definition = List.rev !definition;
@@ -437,6 +507,7 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
         candidates_evaluated = Atomic.get candidates_evaluated;
         seeds_skipped = !seeds_skipped;
         elapsed;
-        timed_out = !timed_out;
+        timed_out = not (Budget.equal_status !status Budget.Completed);
       };
+    degradation;
   }

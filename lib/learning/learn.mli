@@ -1,9 +1,15 @@
 (** The sequential-covering learner (Algorithm 1) with beam-search
     generalization over ARMG (Section 2.3.2), candidate ranking on bounded
-    example subsamples, score-based reduction of the winning clause (in the
-    spirit of Golem's negative-based reduction), and a wall-clock budget
-    that returns partial definitions with [timed_out = true] — mirroring the
-    paper's ">10h" rows. *)
+    example subsamples, and score-based reduction of the winning clause (in
+    the spirit of Golem's negative-based reduction).
+
+    The learner is {e anytime}: a {!Budget.t} (deadline + cancellation
+    token) governs the whole run at item granularity, and on expiry the
+    search winds down cooperatively — the definition accumulated so far is
+    returned, tagged with a {!Budget.degradation} record saying why the run
+    ended and which corners were cut (candidates abandoned, beam rounds
+    truncated, subsumption give-ups, …). The legacy [timed_out] flag
+    mirrors the paper's ">10h" rows. *)
 
 type config = {
   bc : Bottom_clause.config;
@@ -23,6 +29,12 @@ type config = {
       (** once a clause has been accepted, stop after this many consecutive
           unproductive seeds (pre-acceptance, all seeds are tried) *)
   timeout : float option;  (** wall-clock seconds for the whole run *)
+  budget : Budget.t option;
+      (** externally supplied governance: cancelling it stops the run
+          cooperatively from any domain; counters aggregate across runs
+          sharing it (e.g. CV folds). [learn] scopes a per-call child, so
+          [timeout] still bounds each call. [None] (the default) gives each
+          call a private budget — behavior identical to pre-governance. *)
   pool : Parallel.Pool.t option;
       (** domain pool for candidate evaluation, acceptance counting and
           ground-BC warming; [None] (the default) runs sequentially. The
@@ -44,10 +56,20 @@ type stats = {
 type result = {
   definition : Logic.Clause.definition;
   stats : stats;
+  degradation : Budget.degradation;
+      (** why the run ended ([Completed] / [Deadline_hit] / [Cancelled])
+          and the degradation counters accumulated getting there *)
 }
 
 (** [learn ?config cov ~rng ~positives ~negatives] runs Algorithm 1.
-    Clause acceptance is always checked on the full training sets. *)
+    Clause acceptance is always checked on the full training sets.
+
+    Anytime guarantees: with an already-elapsed deadline the call returns
+    immediately with the empty definition and
+    [degradation.status = Deadline_hit]; cancelling [config.budget] from
+    another domain stops the run within one coverage-test granularity; with
+    a generous deadline the result is identical to an unbudgeted run on the
+    same seed. *)
 val learn :
   ?config:config ->
   Coverage.t ->

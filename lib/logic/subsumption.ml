@@ -174,37 +174,65 @@ let solve_once ~config ~rng g body subst0 =
   in
   search body subst0
 
-(** [subsumes_subst ?config ?rng ~subst c g] tests whether the body of [c]
-    maps into [g] by some extension of [subst] (the head is assumed already
-    matched — coverage testing binds it from the example). Returns the
-    witnessing substitution. *)
-let subsumes_subst ?(config = default_config) ?rng ~subst c g =
+type answer =
+  | Subsumed of Substitution.t
+  | Not_subsumed
+  | Gave_up
+
+(** [subsumes_answer ?config ?rng ?budget ~subst c g] is the engine's honest
+    verdict: [Subsumed w] with a witness, [Not_subsumed] when some try
+    {e exhausted the search space} within its node budget (a proof of no
+    subsumption — restarts would be wasted work and are skipped), or
+    [Gave_up] when every try ran out of nodes. The boolean entry points
+    conflate the last two (both answer "no", the paper's under-approximating
+    trade-off); this one keeps them apart and reports tries / restarts /
+    give-ups into [budget]'s counters. *)
+let subsumes_answer ?(config = default_config) ?rng ?budget ~subst c g =
   let body = Clause.body c in
   let attempt r =
-    try solve_once ~config ~rng:r g body subst
-    with Budget_exhausted -> None
+    Budget.hit_opt budget Budget.Subsumption_try;
+    match solve_once ~config ~rng:r g body subst with
+    | Some s -> `Found s
+    | None -> `No
+    | exception Budget_exhausted -> `Out
   in
   match attempt None with
-  | Some _ as ok -> ok
-  | None ->
+  | `Found s -> Subsumed s
+  | `No -> Not_subsumed
+  | `Out ->
       let rng =
         match rng with
         | Some st -> st
         | None -> Random.State.make [| 0x5eed |]
       in
       let rec retry k =
-        if k = 0 then None
-        else
+        if k = 0 then begin
+          Budget.hit_opt budget Budget.Subsumption_exhausted;
+          Gave_up
+        end
+        else begin
+          Budget.hit_opt budget Budget.Subsumption_restart;
           match attempt (Some rng) with
-          | Some _ as ok -> ok
-          | None -> retry (k - 1)
+          | `Found s -> Subsumed s
+          | `No -> Not_subsumed
+          | `Out -> retry (k - 1)
+        end
       in
       retry config.restarts
 
-(** [subsumes ?config ?rng c g] is [subsumes_subst] from the empty
+(** [subsumes_subst ?config ?rng ?budget ~subst c g] tests whether the body
+    of [c] maps into [g] by some extension of [subst] (the head is assumed
+    already matched — coverage testing binds it from the example). Returns
+    the witnessing substitution; [Gave_up] collapses to [None]. *)
+let subsumes_subst ?config ?rng ?budget ~subst c g =
+  match subsumes_answer ?config ?rng ?budget ~subst c g with
+  | Subsumed s -> Some s
+  | Not_subsumed | Gave_up -> None
+
+(** [subsumes ?config ?rng ?budget c g] is [subsumes_subst] from the empty
     substitution: plain θ-subsumption of [c]'s body into [g]. *)
-let subsumes ?config ?rng c g =
-  match subsumes_subst ?config ?rng ~subst:Substitution.empty c g with
+let subsumes ?config ?rng ?budget c g =
+  match subsumes_subst ?config ?rng ?budget ~subst:Substitution.empty c g with
   | Some _ -> true
   | None -> false
 
@@ -232,7 +260,7 @@ let default_frontier_cap = 24
     capped at [cap] (expansion stops at [4 × cap] raw extensions), and
     rotated so a truncated tail gets its turn at the next literal. An empty
     result means [lit] blocks. *)
-let step_frontier ?(cap = default_frontier_cap) g frontier lit =
+let step_frontier ?(cap = default_frontier_cap) ?budget g frontier lit =
   (* Fair expansion: every frontier substitution gets an equal share of the
      [3 × cap] expansion budget. A global first-come cut-off would only ever
      extend the first few chains, silently discarding the binding diversity
@@ -262,27 +290,30 @@ let step_frontier ?(cap = default_frontier_cap) g frontier lit =
        lexicographic head: neighbouring substitutions share early-variable
        bindings, and a frontier that kept only one binding of a shared
        variable would falsely block any later literal needing another. *)
+    Budget.hit_opt budget Budget.Coverage_truncated;
     let arr = Array.of_list deduped in
     List.init cap (fun i -> arr.(i * n / cap))
   end
 
-(** [eval_prefix ?cap ~subst c g] evaluates the body of [c] against [g] left
-    to right starting from [subst], one {!step_frontier} per body literal. *)
-let eval_prefix ?cap ~subst c g =
+(** [eval_prefix ?cap ?budget ~subst c g] evaluates the body of [c] against
+    [g] left to right starting from [subst], one {!step_frontier} per body
+    literal; frontier truncations report into [budget]. *)
+let eval_prefix ?cap ?budget ~subst c g =
   let rec go i frontier = function
     | [] -> (
         match frontier with
         | s :: _ -> Covered s
         | [] -> assert false)
     | lit :: rest -> (
-        match step_frontier ?cap g frontier lit with
+        match step_frontier ?cap ?budget g frontier lit with
         | [] -> Blocked i
         | next -> go (i + 1) next rest)
   in
   go 1 [ subst ] (Clause.body c)
 
-(** [covers_ground ?cap ~subst c g] is the boolean form of {!eval_prefix}. *)
-let covers_ground ?cap ~subst c g =
-  match eval_prefix ?cap ~subst c g with
+(** [covers_ground ?cap ?budget ~subst c g] is the boolean form of
+    {!eval_prefix}. *)
+let covers_ground ?cap ?budget ~subst c g =
+  match eval_prefix ?cap ?budget ~subst c g with
   | Covered _ -> true
   | Blocked _ -> false

@@ -30,20 +30,52 @@ type config = {
 
 val default_config : config
 
-(** [subsumes_subst ?config ?rng ~subst c g] tests whether the body of [c]
-    maps into [g] by some extension of [subst] (coverage testing binds the
-    head from the example first). Returns the witnessing substitution. *)
+(** The engine's honest verdict: the boolean entry points answer "no" both
+    when no subsumption was {e proved} impossible and when the search merely
+    {e gave up} (every restart exhausted its node budget — the paper's
+    under-approximating trade-off); this type keeps the two apart. *)
+type answer =
+  | Subsumed of Substitution.t  (** a witness substitution *)
+  | Not_subsumed  (** proved: some try exhausted the space within budget *)
+  | Gave_up  (** unknown: every try ran out of nodes *)
+
+(** [subsumes_answer ?config ?rng ?budget ~subst c g] — the tri-state test.
+    Reports tries, restarts and give-ups into [budget]'s counters
+    ([Subsumption_try] / [Subsumption_restart] / [Subsumption_exhausted]),
+    so callers get the degradation accounting even when the boolean answer
+    is unchanged. A definitive [Not_subsumed] on the first try skips the
+    randomized restarts (they could only rediscover the same proof). *)
+val subsumes_answer :
+  ?config:config ->
+  ?rng:Random.State.t ->
+  ?budget:Budget.t ->
+  subst:Substitution.t ->
+  Clause.t ->
+  ground ->
+  answer
+
+(** [subsumes_subst ?config ?rng ?budget ~subst c g] tests whether the body
+    of [c] maps into [g] by some extension of [subst] (coverage testing
+    binds the head from the example first). Returns the witnessing
+    substitution; [Gave_up] collapses to [None]. *)
 val subsumes_subst :
   ?config:config ->
   ?rng:Random.State.t ->
+  ?budget:Budget.t ->
   subst:Substitution.t ->
   Clause.t ->
   ground ->
   Substitution.t option
 
-(** [subsumes ?config ?rng c g] is {!subsumes_subst} from the empty
+(** [subsumes ?config ?rng ?budget c g] is {!subsumes_subst} from the empty
     substitution. *)
-val subsumes : ?config:config -> ?rng:Random.State.t -> Clause.t -> ground -> bool
+val subsumes :
+  ?config:config ->
+  ?rng:Random.State.t ->
+  ?budget:Budget.t ->
+  Clause.t ->
+  ground ->
+  bool
 
 (** {1 Prefix evaluation with substitution frontiers} *)
 
@@ -54,17 +86,26 @@ type verdict =
 
 val default_frontier_cap : int
 
-(** [step_frontier ?cap g frontier lit] advances the frontier across one
-    body literal: all extensions mapping [lit] into [g], deduplicated,
+(** [step_frontier ?cap ?budget g frontier lit] advances the frontier across
+    one body literal: all extensions mapping [lit] into [g], deduplicated,
     stride-capped at [cap] (preserving binding diversity), and rotated.
-    An empty result means [lit] blocks. *)
+    An empty result means [lit] blocks. A cap overflow — the point where
+    the test becomes approximate — bumps [budget]'s [Coverage_truncated]
+    counter instead of passing silently. *)
 val step_frontier :
-  ?cap:int -> ground -> Substitution.t list -> Literal.t -> Substitution.t list
+  ?cap:int ->
+  ?budget:Budget.t ->
+  ground ->
+  Substitution.t list ->
+  Literal.t ->
+  Substitution.t list
 
-(** [eval_prefix ?cap ~subst c g] evaluates the body of [c] left to right
-    from [subst], one {!step_frontier} per literal. *)
+(** [eval_prefix ?cap ?budget ~subst c g] evaluates the body of [c] left to
+    right from [subst], one {!step_frontier} per literal. *)
 val eval_prefix :
-  ?cap:int -> subst:Substitution.t -> Clause.t -> ground -> verdict
+  ?cap:int -> ?budget:Budget.t -> subst:Substitution.t -> Clause.t -> ground -> verdict
 
-(** [covers_ground ?cap ~subst c g] is the boolean form of {!eval_prefix}. *)
-val covers_ground : ?cap:int -> subst:Substitution.t -> Clause.t -> ground -> bool
+(** [covers_ground ?cap ?budget ~subst c g] is the boolean form of
+    {!eval_prefix}. *)
+val covers_ground :
+  ?cap:int -> ?budget:Budget.t -> subst:Substitution.t -> Clause.t -> ground -> bool

@@ -8,7 +8,13 @@
     condition until the stragglers land. Results and exceptions are written
     into per-index slots: distinct array cells, so no two domains ever race
     on one location, and the output order is the input order by
-    construction. *)
+    construction.
+
+    Cancellation ([?budget]) is cooperative at item granularity: a claimed
+    index first checks the budget; once expired, remaining indices are
+    marked skipped without calling the user function, and no new helper
+    tasks are dispatched — items already in flight finish, so a cancelled
+    job terminates within one item's worth of work per domain. *)
 
 type job = {
   inputs_len : int;
@@ -19,7 +25,7 @@ type job = {
   mutable finished : int;
 }
 
-let run_job pool n run_one =
+let run_job ?budget pool n run_one =
   let job =
     {
       inputs_len = n;
@@ -30,11 +36,18 @@ let run_job pool n run_one =
       finished = 0;
     }
   in
+  let expired () =
+    match budget with Some b -> Budget.expired b | None -> false
+  in
   let step () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i >= job.inputs_len then false
     else begin
-      (try run_one i with e -> job.errors.(i) <- Some e);
+      (* The expiry check happens per claimed item: after cancellation the
+         remaining indices drain without running, so [finished] still
+         reaches [n] and the caller's wait terminates. *)
+      if not (expired ()) then
+        (try run_one i with e -> job.errors.(i) <- Some e);
       Mutex.lock job.lock;
       job.finished <- job.finished + 1;
       if job.finished = job.inputs_len then Condition.broadcast job.all_done;
@@ -43,10 +56,12 @@ let run_job pool n run_one =
     end
   in
   let drain () = while step () do () done in
-  (* [n - 1] helpers at most: the caller claims at least one item itself. *)
-  for _ = 1 to min (Pool.size pool) (n - 1) do
-    Pool.submit pool drain
-  done;
+  (* [n - 1] helpers at most: the caller claims at least one item itself.
+     An already-expired budget dispatches no helpers at all. *)
+  if not (expired ()) then
+    for _ = 1 to min (Pool.size pool) (n - 1) do
+      Pool.submit pool drain
+    done;
   drain ();
   Mutex.lock job.lock;
   while job.finished < job.inputs_len do
@@ -71,6 +86,32 @@ let parallel_map ?pool f xs =
              (function Some v -> v | None -> assert false)
              results)
       end
+
+(* Anytime variant: a [None] slot is an item skipped after budget expiry
+   (recorded as [Job_skipped]); with a never-expiring budget the result is
+   [List.map f xs] with every element wrapped in [Some]. *)
+let parallel_map_anytime ?pool ~budget f xs =
+  let results =
+    match pool with
+    | None ->
+        List.map
+          (fun x -> if Budget.expired budget then None else Some (f x))
+          xs
+    | Some p ->
+        let inputs = Array.of_list xs in
+        let n = Array.length inputs in
+        if n = 0 then []
+        else begin
+          let results = Array.make n None in
+          run_job ~budget p n (fun i -> results.(i) <- Some (f inputs.(i)));
+          Array.to_list results
+        end
+  in
+  let skipped =
+    List.fold_left (fun k r -> if r = None then k + 1 else k) 0 results
+  in
+  Budget.add budget Budget.Job_skipped skipped;
+  results
 
 let parallel_iter ?pool f xs =
   match pool with

@@ -20,6 +20,18 @@
     order. *)
 val parallel_map : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [parallel_map_anytime ?pool ~budget f xs] is the cancellation-aware
+    {!parallel_map}: each claimed item first checks [budget]; once it is
+    expired (deadline passed or cancelled) the remaining items are skipped
+    — [f] is not called, the slot is [None], no new helper tasks are
+    dispatched, and each skip bumps the budget's [Job_skipped] counter.
+    Items already in flight finish, so a cancelled call returns within one
+    item granularity, with the typed per-slot outcome instead of an
+    exception. With a budget that never expires the result is
+    [List.map (fun x -> Some (f x)) xs]. *)
+val parallel_map_anytime :
+  ?pool:Pool.t -> budget:Budget.t -> ('a -> 'b) -> 'a list -> 'b option list
+
 (** [parallel_iter ?pool f xs] applies [f] to every element; [f]'s side
     effects must be thread-safe under [Some _]. *)
 val parallel_iter : ?pool:Pool.t -> ('a -> unit) -> 'a list -> unit

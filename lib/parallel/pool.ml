@@ -2,9 +2,15 @@
 
     One mutex guards the queue and the shutdown flag; workers sleep on a
     condition variable when the queue is empty. Tasks are [unit -> unit]
-    thunks that must not raise: a stray exception would kill its worker
-    domain silently, so the worker loop drops exceptions defensively (the
-    {!Par} combinators never let one through in the first place). *)
+    thunks that should not raise: the {!Par} combinators carry per-item
+    exceptions back to the caller themselves, so anything escaping a task is
+    a harness bug or an injected fault. The worker loop survives either —
+    but never silently: drops are counted in an atomic, the first offender's
+    backtrace is kept and logged, and {!stats} exposes the tally so a run
+    can report nonzero worker-fault counters instead of quietly losing
+    domains. *)
+
+type fault = { exn : exn; backtrace : Printexc.raw_backtrace }
 
 type t = {
   size : int;
@@ -13,13 +19,31 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  chaos : Fault.t option;
+  tasks_run : int Atomic.t;
+  dropped : int Atomic.t;
+  mutable first_fault : fault option;  (** guarded by [lock] *)
 }
+
+type stats = { size : int; tasks_run : int; dropped : int }
 
 let max_size = 128
 
 let default_size () = max 1 (Domain.recommended_domain_count () - 1)
 
 let clamp size = max 1 (min max_size size)
+
+let note_fault (t : t) e =
+  let backtrace = Printexc.get_raw_backtrace () in
+  Atomic.incr t.dropped;
+  Mutex.lock t.lock;
+  let first = t.first_fault = None in
+  if first then t.first_fault <- Some { exn = e; backtrace };
+  Mutex.unlock t.lock;
+  if first then
+    Logs.err (fun m ->
+        m "Parallel.Pool: worker dropped %s@.%s" (Printexc.to_string e)
+          (Printexc.raw_backtrace_to_string backtrace))
 
 let worker_loop t () =
   let rec loop () =
@@ -31,13 +55,17 @@ let worker_loop t () =
     else begin
       let task = Queue.pop t.queue in
       Mutex.unlock t.lock;
-      (try task () with _ -> ());
+      Atomic.incr t.tasks_run;
+      (try
+         (match t.chaos with Some f -> Fault.tick f | None -> ());
+         task ()
+       with e -> note_fault t e);
       loop ()
     end
   in
   loop ()
 
-let create ?size () =
+let create ?size ?chaos () =
   let size = clamp (Option.value size ~default:(default_size ())) in
   let t =
     {
@@ -47,12 +75,29 @@ let create ?size () =
       queue = Queue.create ();
       stopping = false;
       workers = [];
+      chaos;
+      tasks_run = Atomic.make 0;
+      dropped = Atomic.make 0;
+      first_fault = None;
     }
   in
   t.workers <- List.init size (fun _ -> Domain.spawn (worker_loop t));
   t
 
-let size t = t.size
+let size (t : t) = t.size
+
+let stats (t : t) =
+  {
+    size = t.size;
+    tasks_run = Atomic.get t.tasks_run;
+    dropped = Atomic.get t.dropped;
+  }
+
+let first_fault t =
+  Mutex.lock t.lock;
+  let f = t.first_fault in
+  Mutex.unlock t.lock;
+  f
 
 let submit t task =
   Mutex.lock t.lock;
@@ -73,6 +118,6 @@ let shutdown t =
   Mutex.unlock t.lock;
   List.iter Domain.join workers
 
-let with_pool ?size f =
-  let t = create ?size () in
+let with_pool ?size ?chaos f =
+  let t = create ?size ?chaos () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -5,19 +5,39 @@
     so the learner's hot loops must amortize it. Workers block on a
     mutex/condition-guarded task queue; {!submit} never blocks.
 
-    Tasks must not raise — higher-level combinators ({!Par}) wrap user
-    functions and carry exceptions back to the caller themselves. *)
+    Tasks should not raise — higher-level combinators ({!Par}) wrap user
+    functions and carry exceptions back to the caller themselves. An
+    exception that escapes a task anyway (a harness bug, or an injected
+    {!Fault}) does not kill the worker: it is counted, the first one's
+    backtrace is logged and kept for {!first_fault}, and the tally is
+    visible in {!stats} — faults are survived loudly, never silently. *)
 
 type t
 
-(** [create ?size ()] spawns [size] worker domains. [size] defaults to
-    [Domain.recommended_domain_count () - 1] (the caller's domain
+type fault = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+type stats = {
+  size : int;  (** worker domains *)
+  tasks_run : int;  (** tasks dequeued by workers so far *)
+  dropped : int;  (** tasks whose exception the pool had to drop *)
+}
+
+(** [create ?size ?chaos ()] spawns [size] worker domains. [size] defaults
+    to [Domain.recommended_domain_count () - 1] (the caller's domain
     participates in {!Par} jobs, so [n] workers saturate [n + 1] cores) and
-    is clamped to [\[1, 128\]]. *)
-val create : ?size:int -> unit -> t
+    is clamped to [\[1, 128\]]. [chaos] injects seeded faults/delays before
+    each task runs (testing only). *)
+val create : ?size:int -> ?chaos:Fault.t -> unit -> t
 
 (** [size t] is the number of worker domains. *)
 val size : t -> int
+
+(** [stats t] is a snapshot of the pool's counters. *)
+val stats : t -> stats
+
+(** [first_fault t] is the first exception a worker dropped (with its
+    backtrace), if any — kept so a crash is diagnosable after the fact. *)
+val first_fault : t -> fault option
 
 (** [default_size ()] is the size {!create} picks when none is given. *)
 val default_size : unit -> int
@@ -30,6 +50,6 @@ val submit : t -> (unit -> unit) -> unit
     Idempotent. Submitting after shutdown raises. *)
 val shutdown : t -> unit
 
-(** [with_pool ?size f] runs [f pool] and shuts the pool down afterwards,
-    also on exceptions. *)
-val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool ?size ?chaos f] runs [f pool] and shuts the pool down
+    afterwards, also on exceptions. *)
+val with_pool : ?size:int -> ?chaos:Fault.t -> (t -> 'a) -> 'a

@@ -3,7 +3,33 @@
     The format is deliberately simple: comma-separated, one tuple per line,
     double quotes around fields that contain commas or quotes (doubled quotes
     escape a quote). This is enough to round-trip every synthetic dataset and
-    to let a user load their own data. *)
+    to let a user load their own data.
+
+    Malformed input is a first-class outcome, not a [Failure] with a bare
+    message: every defect is reported as {!Error} carrying the file name (when
+    known), the 1-based line number, and what went wrong — and the caller
+    chooses between failing fast and skipping bad rows ([?on_error]). *)
+
+type error = {
+  file : string option;  (** the path given to {!load}; [None] for strings *)
+  line : int;  (** 1-based line number of the offending row *)
+  message : string;
+}
+
+exception Error of error
+
+let error_to_string e =
+  Printf.sprintf "%s:%d: %s"
+    (Option.value e.file ~default:"<string>")
+    e.line e.message
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Csv.Error (%s)" (error_to_string e))
+    | _ -> None)
+
+(* Internal, carries only the message; the parser loop attaches file/line. *)
+exception Bad_row of string
 
 let split_line line =
   let buf = Buffer.create 16 in
@@ -21,20 +47,30 @@ let split_line line =
           flush ();
           plain (i + 1)
       | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | '"' -> raise (Bad_row "quote inside unquoted field")
       | c ->
           Buffer.add_char buf c;
           plain (i + 1)
   and quoted i =
-    if i >= n then failwith "Csv: unterminated quoted field"
+    if i >= n then raise (Bad_row "unterminated quoted field")
     else
       match line.[i] with
       | '"' when i + 1 < n && line.[i + 1] = '"' ->
           Buffer.add_char buf '"';
           quoted (i + 2)
-      | '"' -> plain (i + 1)
+      | '"' -> closed (i + 1)
       | c ->
           Buffer.add_char buf c;
           quoted (i + 1)
+  and closed i =
+    (* after the closing quote only a separator (or end of line) is legal *)
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+          flush ();
+          plain (i + 1)
+      | c -> raise (Bad_row (Printf.sprintf "unexpected %C after closing quote" c))
   in
   plain 0;
   List.rev !fields
@@ -52,31 +88,43 @@ let escape_field s =
   end
   else s
 
-(** [parse_string ~schema contents] parses CSV [contents] (no header) into a
-    relation with the given schema. Raises [Failure] on arity mismatch. *)
-let parse_string ~schema contents =
+(** [parse_string ?on_error ?file ~schema contents] parses CSV [contents]
+    (no header) into a relation with the given schema. A malformed row —
+    wrong arity, unterminated quote, stray quote — raises {!Error} with
+    [file] and its 1-based line number under [`Fail] (the default), or is
+    dropped under [`Skip]. *)
+let parse_string ?(on_error = `Fail) ?file ~schema contents =
   let r = Relation.create schema in
   String.split_on_char '\n' contents
-  |> List.iter (fun line ->
+  |> List.iteri (fun i line ->
          let line = String.trim line in
-         if line <> "" then begin
-           let fields = split_line line in
-           let t = Array.of_list (List.map Value.of_string fields) in
-           if Array.length t <> Schema.arity schema then
-             failwith
-               (Printf.sprintf "Csv: arity mismatch in %s: %s"
-                  schema.Schema.rel_name line);
-           Relation.add r t
-         end);
+         if line <> "" then
+           match
+             let fields = split_line line in
+             let t = Array.of_list (List.map Value.of_string fields) in
+             if Array.length t <> Schema.arity schema then
+               raise
+                 (Bad_row
+                    (Printf.sprintf "arity mismatch in %s (got %d, want %d): %s"
+                       schema.Schema.rel_name (Array.length t)
+                       (Schema.arity schema) line));
+             t
+           with
+           | t -> Relation.add r t
+           | exception Bad_row message -> (
+               match on_error with
+               | `Skip -> ()
+               | `Fail -> raise (Error { file; line = i + 1; message })));
   r
 
-(** [load ~schema path] reads the file at [path] as the instance of [schema]. *)
-let load ~schema path =
+(** [load ?on_error ~schema path] reads the file at [path] as the instance of
+    [schema]; errors carry [path] as the file name. *)
+let load ?on_error ~schema path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let contents = really_input_string ic len in
   close_in ic;
-  parse_string ~schema contents
+  parse_string ?on_error ~file:path ~schema contents
 
 (** [to_string r] renders relation [r] as CSV (no header), oldest tuple
     first so load/save round-trips preserve order. *)

@@ -2,15 +2,43 @@
 
     Comma-separated, one tuple per line, no header; double quotes protect
     fields containing commas or quotes (doubled quotes escape a quote).
-    Values parse with {!Value.of_string} (integers stay integers). *)
+    Values parse with {!Value.of_string} (integers stay integers).
 
-(** [parse_string ~schema contents] parses CSV [contents] into an instance of
-    [schema].
-    @raise Failure on arity mismatch or an unterminated quote. *)
-val parse_string : schema:Schema.relation_schema -> string -> Relation.t
+    Malformed input is reported as a typed {!Error} carrying the file name
+    and 1-based line number; callers pick a policy with [?on_error]. *)
 
-(** [load ~schema path] reads the file at [path]. *)
-val load : schema:Schema.relation_schema -> string -> Relation.t
+type error = {
+  file : string option;  (** the path given to {!load}; [None] for strings *)
+  line : int;  (** 1-based line number of the offending row *)
+  message : string;  (** what was wrong with it *)
+}
+
+exception Error of error
+
+(** [error_to_string e] — ["file:line: message"], grep-friendly. *)
+val error_to_string : error -> string
+
+(** [parse_string ?on_error ?file ~schema contents] parses CSV [contents]
+    into an instance of [schema]. Malformed rows (arity mismatch,
+    unterminated quote, stray quote) raise {!Error} under [`Fail] (the
+    default) or are dropped under [`Skip]; [file] labels errors for input
+    that came from a file.
+    @raise Error under [`Fail] on the first malformed row. *)
+val parse_string :
+  ?on_error:[ `Fail | `Skip ] ->
+  ?file:string ->
+  schema:Schema.relation_schema ->
+  string ->
+  Relation.t
+
+(** [load ?on_error ~schema path] reads the file at [path]; errors carry
+    [path] as the file name.
+    @raise Error under [`Fail] (the default) on the first malformed row. *)
+val load :
+  ?on_error:[ `Fail | `Skip ] ->
+  schema:Schema.relation_schema ->
+  string ->
+  Relation.t
 
 (** [to_string r] renders [r] as CSV, oldest tuple first, so save/load
     round-trips preserve order. *)

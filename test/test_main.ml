@@ -12,5 +12,6 @@ let () =
       ("evaluation", Test_evaluation.suite);
       ("query", Test_query.suite);
       ("properties", Test_properties.suite);
+      ("robustness", Test_robustness.suite);
       ("regressions", Test_regressions.suite);
     ]

@@ -9,8 +9,11 @@ module Coverage = Learning.Coverage
 
 (* One pool shared by the whole suite: spawning domains per test would
    dominate runtime. Sized 2 to exercise real concurrency where cores
-   allow. *)
-let shared_pool = lazy (Pool.create ~size:2 ())
+   allow. AUTOBIAS_CHAOS=P turns on seeded fault injection for the whole
+   suite (the CI chaos job): every result assertion must still hold, since
+   killed pool jobs only lose parallelism, never results. *)
+let shared_pool =
+  lazy (Pool.create ~size:2 ?chaos:(Parallel.Fault.from_env ()) ())
 
 let pool () = Lazy.force shared_pool
 

@@ -189,10 +189,17 @@ let csv_tests =
         in
         Alcotest.(check bool) "same tuples" true
           (List.rev (Relation.tuples r) = List.rev (Relation.tuples r2)));
-    Alcotest.test_case "arity mismatch raises" `Quick (fun () ->
+    Alcotest.test_case "arity mismatch raises a typed error with the line"
+      `Quick (fun () ->
         let rs = Schema.relation "r" [| "a"; "b" |] in
-        Alcotest.check_raises "bad" (Failure "Csv: arity mismatch in r: x")
-          (fun () -> ignore (Relational.Csv.parse_string ~schema:rs "x\n")));
+        match Relational.Csv.parse_string ~schema:rs "x,1\nbad\ny,2\n" with
+        | _ -> Alcotest.fail "expected Csv.Error"
+        | exception Relational.Csv.Error e ->
+            Alcotest.(check int) "1-based line" 2 e.Relational.Csv.line;
+            Alcotest.(check bool) "no file for strings" true
+              (e.Relational.Csv.file = None);
+            Alcotest.(check bool) "mentions arity" true
+              (String.length e.Relational.Csv.message > 0));
   ]
 
 let ops_tests =

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- table5 --data uw,imdb --folds 3 --timeout 30
 
    Experiments: table3 figure1 preprocess table5 table6 ablation-aind
-   ablation-threshold scaling micro. Absolute numbers differ from the paper
+   ablation-threshold coverage scaling micro. Absolute numbers differ from the paper
    (our datasets are laptop-scale synthetics; see EXPERIMENTS.md); the
    harness prints the paper's value next to each measured one where the
    paper reports one.
@@ -565,6 +565,90 @@ let ablation_overlap () =
     (Bias.Language.share_type auto "student" 0 "inPhase" 1)
 
 (* ------------------------------------------------------------------ *)
+(* Coverage: the incremental coverage engine, cache on vs off.        *)
+(* ------------------------------------------------------------------ *)
+
+(* A/B of the incremental coverage engine on the full learner: the same
+   fixed-seed run with the verdict memo on and off. Verdicts are pure, so
+   the learned definitions must be bit-identical (also under a 1-domain
+   pool); the difference is how many subsumption tests actually run —
+   surfaced through the Budget counters — and the wall clock. Monotone
+   propagation (ARMG/reduction inheritance) is on in both modes. *)
+
+let coverage_bench () =
+  hr ();
+  Fmt.pr "Coverage — incremental coverage engine A/B (verdict memo on/off)@.";
+  Fmt.pr "same seed, same learner; definitions must be bit-identical@.";
+  hr ();
+  let d = generate "uw" in
+  let positives = d.Dataset.positives and negatives = d.Dataset.negatives in
+  let run ?pool use_cache =
+    let b = Budget.create () in
+    let rng = Random.State.make [| options.seed; 3 |] in
+    let cov =
+      Learning.Coverage.create ~use_cache d.Dataset.db d.Dataset.manual_bias
+        ~rng
+    in
+    let config =
+      { Learning.Learn.default_config with
+        timeout = Some options.timeout; budget = Some b; pool }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Learning.Learn.learn ~config cov ~rng ~positives ~negatives in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (r, elapsed, Budget.counters b, Learning.Coverage.cache_stats cov)
+  in
+  let rc, tc, cc, sc = run true in
+  let ru, tu, cu, _ = run false in
+  let render def = Logic.Clause.definition_to_string def in
+  let identical =
+    render rc.Learning.Learn.definition = render ru.Learning.Learn.definition
+  in
+  let rp, _, _, _ = Parallel.Pool.with_pool ~size:1 (fun p -> run ~pool:p true) in
+  let identical_pool =
+    render rc.Learning.Learn.definition = render rp.Learning.Learn.definition
+  in
+  let requests = sc.Learning.Coverage.hits + sc.Learning.Coverage.misses in
+  let hit_rate =
+    if requests = 0 then 0.
+    else float_of_int sc.Learning.Coverage.hits /. float_of_int requests
+  in
+  let tries_ratio =
+    if cc.Budget.subsumption_tries = 0 then 0.
+    else
+      float_of_int cu.Budget.subsumption_tries
+      /. float_of_int cc.Budget.subsumption_tries
+  in
+  Fmt.pr "cache on : %8.3fs  %7d subsumption tries  %7d inherited@." tc
+    cc.Budget.subsumption_tries cc.Budget.coverage_inherited;
+  Fmt.pr "cache off: %8.3fs  %7d subsumption tries  %7d inherited@." tu
+    cu.Budget.subsumption_tries cu.Budget.coverage_inherited;
+  Fmt.pr
+    "memo: %d hits / %d misses (hit rate %.1f%%, %d entries); tries ratio \
+     off/on %.2fx; wall speedup %.2fx@."
+    sc.Learning.Coverage.hits sc.Learning.Coverage.misses (100. *. hit_rate)
+    sc.Learning.Coverage.entries tries_ratio (tu /. tc);
+  Fmt.pr "definitions identical: %s (sequential) / %s (1-domain pool), %d clauses@."
+    (if identical then "YES" else "NO -- DETERMINISM BUG")
+    (if identical_pool then "YES" else "NO -- DETERMINISM BUG")
+    (List.length rc.Learning.Learn.definition);
+  Bench_json.record "coverage"
+    [ ("uw.cached_s", Bench_json.F tc);
+      ("uw.uncached_s", Bench_json.F tu);
+      ("uw.speedup", Bench_json.F (tu /. tc));
+      ("uw.cached_tries", Bench_json.I cc.Budget.subsumption_tries);
+      ("uw.uncached_tries", Bench_json.I cu.Budget.subsumption_tries);
+      ("uw.tries_ratio", Bench_json.F tries_ratio);
+      ("uw.memo_hits", Bench_json.I sc.Learning.Coverage.hits);
+      ("uw.memo_misses", Bench_json.I sc.Learning.Coverage.misses);
+      ("uw.memo_entries", Bench_json.I sc.Learning.Coverage.entries);
+      ("uw.hit_rate", Bench_json.F hit_rate);
+      ("uw.inherited", Bench_json.I cc.Budget.coverage_inherited);
+      ("uw.clauses", Bench_json.I (List.length rc.Learning.Learn.definition));
+      ("uw.identical_on_vs_off", Bench_json.B identical);
+      ("uw.identical_pool1", Bench_json.B identical_pool) ]
+
+(* ------------------------------------------------------------------ *)
 (* Scaling: the beam-evaluation workload across domain-pool sizes.    *)
 (* ------------------------------------------------------------------ *)
 
@@ -585,7 +669,14 @@ let scaling () =
   hr ();
   let d = generate "uw" in
   let rng = Random.State.make [| options.seed |] in
-  let cov = Learning.Coverage.create d.Dataset.db d.Dataset.manual_bias ~rng in
+  (* Uncached context for the pool timings: the repeated passes below would
+     otherwise be answered from the verdict memo and measure lock-striped
+     table probes instead of parallel subsumption. The memo's own effect is
+     measured separately at the end. *)
+  let cov =
+    Learning.Coverage.create ~use_cache:false d.Dataset.db
+      d.Dataset.manual_bias ~rng
+  in
   let positives = d.Dataset.positives and negatives = d.Dataset.negatives in
   let examples = positives @ negatives in
   Learning.Coverage.warm cov examples;
@@ -683,6 +774,35 @@ let scaling () =
   Fmt.pr "Learn.learn sequential == 1-domain pool: %s (%d clauses)@."
     (if identical then "IDENTICAL" else "DIVERGED")
     (List.length def_seq);
+  (* Verdict-memo A/B over the same workload: three evaluation passes (a
+     beam re-scores overlapping candidates constantly), counting actual
+     subsumption tests through the Budget counters. With the memo, repeat
+     passes are all hits, so the off/on ratio must clear ~2x. *)
+  let memo_tries use_cache =
+    let b = Budget.create () in
+    let rng = Random.State.make [| options.seed |] in
+    let cov =
+      Learning.Coverage.create ~use_cache ~budget:b d.Dataset.db
+        d.Dataset.manual_bias ~rng
+    in
+    Learning.Coverage.warm cov examples;
+    let counts = ref [] in
+    for _ = 1 to 3 do
+      counts :=
+        List.map (fun c -> Learning.Coverage.count cov c examples) candidates
+    done;
+    (!counts, (Budget.counters b).Budget.subsumption_tries)
+  in
+  let counts_on, tries_on = memo_tries true in
+  let counts_off, tries_off = memo_tries false in
+  let memo_ratio =
+    if tries_on = 0 then 0. else float_of_int tries_off /. float_of_int tries_on
+  in
+  if counts_on <> counts_off then
+    Fmt.pr "!! memo changed coverage counts (determinism bug)@.";
+  Fmt.pr
+    "verdict memo over 3 passes: %d tries with cache, %d without (%.2fx fewer)@."
+    tries_on tries_off memo_ratio;
   let all_deterministic = List.for_all (fun (_, _, ok) -> ok) timings in
   Bench_json.record "scaling"
     ([ ("candidates", Bench_json.I (List.length candidates));
@@ -695,7 +815,11 @@ let scaling () =
             (Printf.sprintf "speedup_%dv1" size, Bench_json.F (t1 /. t)) ])
         timings
     @ [ ("counts_deterministic", Bench_json.B all_deterministic);
-        ("learn_identical_seq_vs_1domain", Bench_json.B identical) ])
+        ("learn_identical_seq_vs_1domain", Bench_json.B identical);
+        ("memo_tries_on", Bench_json.I tries_on);
+        ("memo_tries_off", Bench_json.I tries_off);
+        ("memo_tries_ratio", Bench_json.F memo_ratio);
+        ("memo_counts_identical", Bench_json.B (counts_on = counts_off)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations.                  *)
@@ -814,6 +938,7 @@ let experiments =
     ("ablation-search", ablation_search);
     ("ablation-overlap", ablation_overlap);
     ("ablation-noise", ablation_noise);
+    ("coverage", coverage_bench);
     ("scaling", scaling);
     ("micro", micro);
   ]

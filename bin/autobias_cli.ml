@@ -68,12 +68,22 @@ let chaos_arg =
   in
   Arg.(value & opt (some float) None & info [ "chaos" ] ~docv:"P" ~doc)
 
-let config ~strategy ~timeout =
+let config ?(coverage_cache = true) ~strategy ~timeout () =
   {
     Autobias.default_config with
     strategy = Sampling.Strategy.of_string strategy;
     timeout = Some timeout;
+    coverage_cache;
   }
+
+let no_cache_arg =
+  let doc =
+    "Disable the coverage-verdict memo table (A/B measurement). Verdicts \
+     are pure, so the learned definition is bit-identical with and without \
+     the cache on a fixed seed; only the amount of subsumption work \
+     changes."
+  in
+  Arg.(value & flag & info [ "no-coverage-cache" ] ~doc)
 
 (* Build the budget / pool a command asked for and pass them down; the pool
    is shut down (domains joined) before returning, also on exceptions. *)
@@ -116,11 +126,14 @@ let load_definition path =
 
 let learn_cmd =
   let run dataset_name method_name strategy scale seed timeout deadline domains
-      chaos cv show_bias output =
+      chaos no_cache cv show_bias output =
     let dataset = dataset_of_name ~scale ~seed dataset_name in
     let method_ = Autobias.method_of_string method_name in
     with_resources ~seed ~deadline ~domains ~chaos @@ fun ~budget pool ->
-    let config = { (config ~strategy ~timeout) with budget; pool } in
+    let config =
+      { (config ~coverage_cache:(not no_cache) ~strategy ~timeout ()) with
+        budget; pool }
+    in
     Fmt.pr "%a" Datasets.Dataset.summary dataset;
     if cv then begin
       let result = Autobias.cross_validate ~config method_ dataset ~seed in
@@ -181,8 +194,8 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"learn a Horn definition of a dataset's target")
     Term.(
       const run $ dataset_arg $ method_arg $ strategy_arg $ scale_arg $ seed_arg
-      $ timeout_arg $ deadline_arg $ domains_arg $ chaos_arg $ cv_arg
-      $ show_bias_arg $ output_arg)
+      $ timeout_arg $ deadline_arg $ domains_arg $ chaos_arg $ no_cache_arg
+      $ cv_arg $ show_bias_arg $ output_arg)
 
 (* ---------------- bias ---------------- *)
 
@@ -282,7 +295,7 @@ let predict_cmd =
           d
       | None ->
           let method_ = Autobias.method_of_string method_name in
-          let config = config ~strategy ~timeout in
+          let config = config ~strategy ~timeout () in
           let rng = Random.State.make [| seed |] in
           let r =
             Autobias.learn_once ~config method_ dataset ~rng
@@ -328,7 +341,7 @@ let explain_cmd =
   let run dataset_name method_name scale seed timeout limit =
     let dataset = dataset_of_name ~scale ~seed dataset_name in
     let method_ = Autobias.method_of_string method_name in
-    let config = config ~strategy:"naive" ~timeout in
+    let config = config ~strategy:"naive" ~timeout () in
     let rng = Random.State.make [| seed |] in
     let r =
       Autobias.learn_once ~config method_ dataset ~rng

@@ -54,6 +54,10 @@ type config = {
   ind_max_error : float;  (** α for approximate INDs *)
   use_approximate_inds : bool;  (** ablation knob; the paper always uses them *)
   subsumption : Logic.Subsumption.config;
+  coverage_cache : bool;
+      (** memoize coverage verdicts in the scoring context (default [true]);
+          verdicts are pure, so results are identical either way —
+          [false] ([--no-coverage-cache]) exists for A/B measurement *)
   budget : Budget.t option;
       (** run governance: cancelling it stops any learning entry point
           cooperatively; its counters aggregate across folds. Each run still
@@ -81,6 +85,7 @@ let default_config =
     ind_max_error = 0.5;
     use_approximate_inds = true;
     subsumption = Logic.Subsumption.default_config;
+    coverage_cache = true;
     budget = None;
     pool = None;
   }
@@ -161,7 +166,8 @@ let foil_config config =
     context (ground bottom clauses are cached inside it). *)
 let coverage_context config (dataset : Datasets.Dataset.t) bias ~rng =
   Learning.Coverage.create ~sub_config:config.subsumption
-    ~bc_config:(bc_config config) dataset.Datasets.Dataset.db bias ~rng
+    ~bc_config:(bc_config config) ~use_cache:config.coverage_cache
+    dataset.Datasets.Dataset.db bias ~rng
 
 type run_result = {
   definition : Logic.Clause.definition;

@@ -35,6 +35,10 @@ type config = {
   ind_max_error : float;  (** α for approximate INDs (paper: 0.5) *)
   use_approximate_inds : bool;  (** ablation knob; the paper always uses them *)
   subsumption : Logic.Subsumption.config;
+  coverage_cache : bool;
+      (** memoize coverage verdicts (default [true]); verdicts are pure, so
+          learned definitions are identical either way — [false] exists for
+          A/B measurement ([--no-coverage-cache]) *)
   budget : Budget.t option;
       (** run governance (deadline + cancellation + degradation counters):
           cancelling it stops any learning entry point cooperatively; each

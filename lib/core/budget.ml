@@ -42,6 +42,9 @@ type event =
   | Subsumption_restart
   | Subsumption_exhausted
   | Coverage_truncated
+  | Coverage_memo_hit
+  | Coverage_memo_miss
+  | Coverage_inherited
   | Beam_cut
   | Candidate_abandoned
   | Job_skipped
@@ -52,12 +55,15 @@ let event_index = function
   | Subsumption_restart -> 1
   | Subsumption_exhausted -> 2
   | Coverage_truncated -> 3
-  | Beam_cut -> 4
-  | Candidate_abandoned -> 5
-  | Job_skipped -> 6
-  | Worker_fault -> 7
+  | Coverage_memo_hit -> 4
+  | Coverage_memo_miss -> 5
+  | Coverage_inherited -> 6
+  | Beam_cut -> 7
+  | Candidate_abandoned -> 8
+  | Job_skipped -> 9
+  | Worker_fault -> 10
 
-let n_events = 8
+let n_events = 11
 
 type t = {
   deadline : float option;  (** absolute, per scope *)
@@ -112,6 +118,9 @@ type counters = {
   subsumption_restarts : int;
   subsumption_exhausted : int;
   coverage_truncated : int;
+  coverage_memo_hits : int;
+  coverage_memo_misses : int;
+  coverage_inherited : int;
   beam_rounds_cut : int;
   candidates_abandoned : int;
   jobs_skipped : int;
@@ -125,6 +134,9 @@ let counters t =
     subsumption_restarts = get Subsumption_restart;
     subsumption_exhausted = get Subsumption_exhausted;
     coverage_truncated = get Coverage_truncated;
+    coverage_memo_hits = get Coverage_memo_hit;
+    coverage_memo_misses = get Coverage_memo_miss;
+    coverage_inherited = get Coverage_inherited;
     beam_rounds_cut = get Beam_cut;
     candidates_abandoned = get Candidate_abandoned;
     jobs_skipped = get Job_skipped;
@@ -137,6 +149,9 @@ let zero =
     subsumption_restarts = 0;
     subsumption_exhausted = 0;
     coverage_truncated = 0;
+    coverage_memo_hits = 0;
+    coverage_memo_misses = 0;
+    coverage_inherited = 0;
     beam_rounds_cut = 0;
     candidates_abandoned = 0;
     jobs_skipped = 0;
@@ -148,6 +163,9 @@ let counters_leq a b =
   && a.subsumption_restarts <= b.subsumption_restarts
   && a.subsumption_exhausted <= b.subsumption_exhausted
   && a.coverage_truncated <= b.coverage_truncated
+  && a.coverage_memo_hits <= b.coverage_memo_hits
+  && a.coverage_memo_misses <= b.coverage_memo_misses
+  && a.coverage_inherited <= b.coverage_inherited
   && a.beam_rounds_cut <= b.beam_rounds_cut
   && a.candidates_abandoned <= b.candidates_abandoned
   && a.jobs_skipped <= b.jobs_skipped
@@ -156,10 +174,11 @@ let counters_leq a b =
 let pp_counters ppf c =
   Fmt.pf ppf
     "subsumption %d tries / %d restarts / %d gave up; frontier truncations \
-     %d; beam rounds cut %d; candidates abandoned %d; jobs skipped %d; \
-     worker faults %d"
+     %d; coverage memo %d hits / %d misses / %d inherited; beam rounds cut \
+     %d; candidates abandoned %d; jobs skipped %d; worker faults %d"
     c.subsumption_tries c.subsumption_restarts c.subsumption_exhausted
-    c.coverage_truncated c.beam_rounds_cut c.candidates_abandoned
+    c.coverage_truncated c.coverage_memo_hits c.coverage_memo_misses
+    c.coverage_inherited c.beam_rounds_cut c.candidates_abandoned
     c.jobs_skipped c.worker_faults
 
 type degradation = {

@@ -74,6 +74,14 @@ type event =
           "no" without proving it) rather than proved no subsumption *)
   | Coverage_truncated
       (** a substitution frontier overflowed its cap and was subsampled *)
+  | Coverage_memo_hit
+      (** a coverage verdict was served from the memo table without running
+          a subsumption test *)
+  | Coverage_memo_miss
+      (** a coverage verdict had to be computed (and was then memoized) *)
+  | Coverage_inherited
+      (** a coverage verdict was inherited from a parent clause by ARMG
+          monotonicity, without running a subsumption test *)
   | Beam_cut  (** a beam search was cut by a deadline before converging *)
   | Candidate_abandoned
       (** a generated candidate clause was never evaluated *)
@@ -95,6 +103,9 @@ type counters = {
   subsumption_restarts : int;
   subsumption_exhausted : int;
   coverage_truncated : int;
+  coverage_memo_hits : int;
+  coverage_memo_misses : int;
+  coverage_inherited : int;
   beam_rounds_cut : int;
   candidates_abandoned : int;
   jobs_skipped : int;

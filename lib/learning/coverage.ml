@@ -20,6 +20,39 @@
 
 module Value = Relational.Value
 
+(* {2 The coverage memo}
+
+   Coverage verdicts are pure: [eval] is a function of (clause, ground BC)
+   and the ground BC of an example is a pure function of (master seed,
+   example). The memo therefore caches verdicts keyed by (clause key,
+   example) — the clause key is the printed clause, which is injective on
+   the clauses the learner builds (ARMG and reduction never rename
+   variables) — and a cached verdict is bit-identical to a recomputed one,
+   so enabling the cache cannot change any learned definition.
+
+   The table is {e lock-striped}: the domain pool hammers it from every
+   worker during beam evaluation, and a single mutex would serialize the
+   hot path the pool exists to parallelize. A stripe is picked by key hash;
+   locks are held only for the table probe / insert. Misses compute the
+   verdict outside any lock (racing duplicates insert the same value).
+   Stripes are capped so a long run cannot grow the table without bound:
+   once a stripe is full, new verdicts are simply not remembered — which is
+   deterministic, verdicts being pure. *)
+
+let memo_stripes = 16
+let memo_stripe_cap = 1 lsl 14  (** per stripe; ~256k entries in total *)
+
+type memo = {
+  tables :
+    (string * Relational.Relation.tuple, Logic.Subsumption.verdict) Hashtbl.t
+    array;
+  locks : Mutex.t array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
 type t = {
   db : Relational.Database.t;
   bias : Bias.Language.t;
@@ -28,13 +61,15 @@ type t = {
   seed_base : int;  (** master seed for per-example ground-BC RNGs *)
   grounds : (Relational.Relation.tuple, Logic.Subsumption.ground) Hashtbl.t;
   lock : Mutex.t;  (** guards [grounds] *)
+  memo : memo option;  (** [None] = caching disabled ([--no-coverage-cache]) *)
   budget : Budget.t option;
-      (** sink for degradation counters (frontier truncations); never
-          changes any coverage verdict *)
+      (** sink for degradation counters (frontier truncations, memo
+          hits/misses); never changes any coverage verdict *)
 }
 
 let create ?(sub_config = Logic.Subsumption.default_config)
-    ?(bc_config = Bottom_clause.default_config) ?budget db bias ~rng =
+    ?(bc_config = Bottom_clause.default_config) ?budget ?(use_cache = true) db
+    bias ~rng =
   {
     db;
     bias;
@@ -43,8 +78,37 @@ let create ?(sub_config = Logic.Subsumption.default_config)
     seed_base = Random.State.bits rng;
     grounds = Hashtbl.create 256;
     lock = Mutex.create ();
+    memo =
+      (if use_cache then
+         Some
+           {
+             tables = Array.init memo_stripes (fun _ -> Hashtbl.create 512);
+             locks = Array.init memo_stripes (fun _ -> Mutex.create ());
+             hits = Atomic.make 0;
+             misses = Atomic.make 0;
+           }
+       else None);
     budget;
   }
+
+let cache_enabled t = t.memo <> None
+
+let cache_stats t =
+  match t.memo with
+  | None -> { hits = 0; misses = 0; entries = 0 }
+  | Some m ->
+      let entries = ref 0 in
+      Array.iteri
+        (fun i tbl ->
+          Mutex.lock m.locks.(i);
+          entries := !entries + Hashtbl.length tbl;
+          Mutex.unlock m.locks.(i))
+        m.tables;
+      {
+        hits = Atomic.get m.hits;
+        misses = Atomic.get m.misses;
+        entries = !entries;
+      }
 
 (** [with_budget t budget] is [t] reporting into [budget]: a shallow copy
     sharing the ground-BC cache (and its mutex), so concurrent learns — CV
@@ -117,17 +181,47 @@ let head_subst clause (example : Relational.Relation.tuple) =
     go 0 Logic.Substitution.empty
   end
 
-(** [eval t clause example] evaluates [clause] against [example] with the
-    substitution-set prefix evaluator: [Covered w] with a witness, or
-    [Blocked i] with the 1-based index of the blocking body literal — the
-    primitive ARMG needs (Section 2.3.2). [Blocked 0] means the head itself
-    cannot be bound to the example. *)
-let eval t clause example =
+(* One real frontier evaluation. Counts as a subsumption try so the Budget
+   counters expose exactly how many tests the memo and ARMG inheritance
+   avoided. *)
+let eval_uncached t clause example =
+  Budget.hit_opt t.budget Budget.Subsumption_try;
   match head_subst clause example with
   | None -> Logic.Subsumption.Blocked 0
   | Some subst ->
       let g = ground_of t example in
       Logic.Subsumption.eval_prefix ?budget:t.budget ~subst clause g
+
+(** [eval t clause example] evaluates [clause] against [example] with the
+    substitution-set prefix evaluator: [Covered w] with a witness, or
+    [Blocked i] with the 1-based index of the blocking body literal — the
+    primitive ARMG needs (Section 2.3.2). [Blocked 0] means the head itself
+    cannot be bound to the example. Verdicts are served from the memo when
+    enabled; a memoized verdict is identical to a recomputed one. *)
+let eval t clause example =
+  match t.memo with
+  | None -> eval_uncached t clause example
+  | Some m -> (
+      let key = (Logic.Clause.to_string clause, example) in
+      let s = Hashtbl.hash key mod memo_stripes in
+      let lock = m.locks.(s) and tbl = m.tables.(s) in
+      Mutex.lock lock;
+      let cached = Hashtbl.find_opt tbl key in
+      Mutex.unlock lock;
+      match cached with
+      | Some v ->
+          Atomic.incr m.hits;
+          Budget.hit_opt t.budget Budget.Coverage_memo_hit;
+          v
+      | None ->
+          Atomic.incr m.misses;
+          Budget.hit_opt t.budget Budget.Coverage_memo_miss;
+          let v = eval_uncached t clause example in
+          Mutex.lock lock;
+          if Hashtbl.length tbl < memo_stripe_cap && not (Hashtbl.mem tbl key)
+          then Hashtbl.add tbl key v;
+          Mutex.unlock lock;
+          v)
 
 (** [covers t clause example] tests whether [clause] covers [example]. *)
 let covers t clause example =

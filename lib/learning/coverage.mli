@@ -12,16 +12,30 @@
 
 type t
 
-(** [?budget] is a sink for degradation counters (frontier truncations);
-    it never changes any coverage verdict. *)
+(** Snapshot of the verdict memo: lifetime hit/miss counts and the number of
+    entries currently stored. All zero when caching is disabled. *)
+type cache_stats = { hits : int; misses : int; entries : int }
+
+(** [?budget] is a sink for degradation counters (frontier truncations, memo
+    hits/misses); it never changes any coverage verdict. [?use_cache]
+    (default [true]) enables the lock-striped verdict memo: verdicts are pure
+    functions of (clause, example) given the captured seed, so caching is
+    invisible to results — [false] exists for A/B measurement
+    ([--no-coverage-cache]). *)
 val create :
   ?sub_config:Logic.Subsumption.config ->
   ?bc_config:Bottom_clause.config ->
   ?budget:Budget.t ->
+  ?use_cache:bool ->
   Relational.Database.t ->
   Bias.Language.t ->
   rng:Random.State.t ->
   t
+
+val cache_enabled : t -> bool
+
+(** [cache_stats t] — a consistent-enough snapshot of the verdict memo. *)
+val cache_stats : t -> cache_stats
 
 (** [with_budget t budget] is [t] reporting into [budget]: a shallow copy
     sharing the ground-BC cache (and its mutex) — concurrent learns each

@@ -9,7 +9,11 @@
     the training examples ([eval_positives]/[eval_negatives]) — coverage
     testing is the dominant cost (Section 5) and ranking only needs relative
     scores; the {e accept/reject} decision for a finished clause always uses
-    the full training set. The winning clause then goes through
+    the full training set. Scoring is {e incremental}: ARMG and literal
+    removal only generalize, so each candidate inherits its parent's
+    verified-covered examples and retests only the rest (monotone
+    propagation), while {!Coverage} memoizes verdicts across candidates
+    that repeat a (clause, example) pair. The winning clause then goes through
     negative-based reduction (as in Golem/Castor): body literals whose
     removal does not let any more training negatives in are dropped, which
     strips the always-satisfiable by-catch a bottom clause carries.
@@ -107,6 +111,14 @@ type scored = {
           (positives − negatives) count: subsampling positives and negatives
           at different rates would otherwise bias ranking toward clauses
           that sneak past the thin negative sample *)
+  pos_cov : bool array;
+      (** verified coverage over the positive ranking sample, by index;
+          [false] means not covered {e or} not tested (staged scoring may
+          return early) — only [true] entries are inherited *)
+  neg_cov : bool array;
+      (** verified coverage over the negative ranking sample; [false] again
+          conflates "tested uncovered" with "untested" (the early abort
+          leaves a suffix untested), which is the conservative direction *)
 }
 
 let clause_key c = Logic.Clause.to_string c
@@ -142,39 +154,77 @@ let take = Logic.Util.take
 (* Score-based reduction (in the spirit of Golem's negative-based
    reduction): drop a body literal when the clause's sampled, rate-corrected
    score (positives − negatives covered) does not decrease. Removal only
-   generalizes, so positive coverage can only grow; a literal survives only
-   if it excludes more (weighted) negatives than the positives it blocks. *)
-let reduce ~pool ~cov ~budget ~pos_weight ~neg_weight clause eval_pos
-    eval_neg =
-  let score c =
-    (pos_weight *. float_of_int (Coverage.count_many ?pool cov c eval_pos))
-    -. (neg_weight *. float_of_int (Coverage.count_many ?pool cov c eval_neg))
+   generalizes, so every example the current clause is known to cover is
+   covered by every candidate too — each reduction step inherits the current
+   covered sets and retests only the examples not yet known covered, instead
+   of rescoring both full samples per candidate. Takes and returns a
+   {!scored}: the result carries {e complete} covered sets (no staged
+   early-outs here), so the caller needs no re-evaluation pass. *)
+let reduce ~cov ~budget ~pos_weight ~neg_weight ~eval_pos ~eval_neg best =
+  (* Full evaluation of [clause], inheriting the verified-covered entries of
+     the generalization parent. *)
+  let eval_full ~parent_pos ~parent_neg clause =
+    let inherited = ref 0 in
+    let count parent examples =
+      let cov_arr = Array.make (Array.length examples) false in
+      let c = ref 0 in
+      Array.iteri
+        (fun i e ->
+          let covered =
+            if parent.(i) then begin
+              incr inherited;
+              true
+            end
+            else Coverage.covers cov clause e
+          in
+          if covered then begin
+            cov_arr.(i) <- true;
+            incr c
+          end)
+        examples;
+      (!c, cov_arr)
+    in
+    let p, pos_cov = count parent_pos eval_pos in
+    let n, neg_cov = count parent_neg eval_neg in
+    Budget.add budget Budget.Coverage_inherited !inherited;
+    {
+      clause;
+      pos_covered = p;
+      neg_covered = n;
+      score =
+        (pos_weight *. float_of_int p) -. (neg_weight *. float_of_int n);
+      pos_cov;
+      neg_cov;
+    }
   in
-  let head = Logic.Clause.head clause in
+  (* Re-score the winner on the full samples first: its staged score may
+     have aborted negative counting early, and a truncated baseline would
+     let reduction accept removals that only look score-preserving. *)
+  let current =
+    ref (eval_full ~parent_pos:best.pos_cov ~parent_neg:best.neg_cov
+           best.clause)
+  in
+  let head = Logic.Clause.head best.clause in
   (* One backward pass over the original literals (by-catch accumulates
      toward the end of a bottom clause). Pruning may remove further literals
      that lost their head connection — those are skipped when their turn
      comes. *)
-  let current = ref (Logic.Clause.body clause) in
-  let current_score = ref (score clause) in
   List.iter
     (fun lit ->
       (* Expiry mid-reduction keeps whatever is already pruned: removal only
          generalizes, so the partially reduced clause is still valid. *)
-      if List.memq lit !current && not (Budget.expired budget) then begin
-        let candidate_body = List.filter (fun l -> not (l == lit)) !current in
+      let body = Logic.Clause.body !current.clause in
+      if List.memq lit body && not (Budget.expired budget) then begin
+        let candidate_body = List.filter (fun l -> not (l == lit)) body in
         let candidate =
-          Logic.Clause.prune_head_connected
-            (Logic.Clause.make head candidate_body)
+          eval_full ~parent_pos:!current.pos_cov ~parent_neg:!current.neg_cov
+            (Logic.Clause.prune_head_connected
+               (Logic.Clause.make head candidate_body))
         in
-        let candidate_score = score candidate in
-        if candidate_score >= !current_score then begin
-          current := Logic.Clause.body candidate;
-          current_score := candidate_score
-        end
+        if candidate.score >= !current.score then current := candidate
       end)
-    (List.rev (Logic.Clause.body clause));
-  Logic.Clause.make head !current
+    (List.rev (Logic.Clause.body best.clause));
+  !current
 
 let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
     ~negatives ~seed =
@@ -187,53 +237,87 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
   let eval_neg = sample_list rng config.eval_negatives negatives in
   let pos_weight = 1. /. rate eval_pos uncovered in
   let neg_weight = 1. /. rate eval_neg negatives in
+  let eval_pos_arr = Array.of_list eval_pos in
+  let eval_neg_arr = Array.of_list eval_neg in
+  let n_pos = Array.length eval_pos_arr in
+  let n_neg = Array.length eval_neg_arr in
+  let n_probe = min 6 n_pos in
   (* Staged scoring. Stage 1: a handful of positives — candidates that are
      still too specific to cover even two of them need no further testing
      (their score cannot enter the beam's top on merit; they survive only
      through the smaller-is-better tie-break, which is exactly what lets
      them keep shrinking). Stage 2: the full ranking samples; negative
-     counting aborts once the score cannot stay positive. *)
-  let probe_pos, rest_pos =
-    let rec split n = function
-      | [] -> ([], [])
-      | l when n = 0 -> ([], l)
-      | x :: tl ->
-          let a, b = split (n - 1) tl in
-          (x :: a, b)
-    in
-    split 6 eval_pos
-  in
-  (* Staged scoring stays sequential inside one candidate — the early
-     aborts below depend on running the stages in order — while distinct
-     candidates are evaluated on distinct domains by the beam step. *)
-  let evaluate clause =
+     counting aborts once the score cannot stay positive.
+
+     Monotone propagation: ARMG children and reduction candidates only
+     generalize their [parent], so every example the parent verifiably
+     covers is covered by the child — those entries are {e inherited}
+     (counted as [Coverage_inherited]) and only the remaining examples are
+     actually retested. Inheritance is independent of the verdict memo, so
+     it is on in both cache modes and never changes a verdict. *)
+  let evaluate ?parent clause =
     Atomic.incr candidates_evaluated;
-    let p_probe = Coverage.count cov clause probe_pos in
+    let pos_cov = Array.make n_pos false in
+    let neg_cov = Array.make n_neg false in
+    let inherited = ref 0 in
+    let finish s =
+      Budget.add budget Budget.Coverage_inherited !inherited;
+      s
+    in
+    let count_pos lo hi =
+      let c = ref 0 in
+      for i = lo to hi - 1 do
+        let covered =
+          match parent with
+          | Some p when p.pos_cov.(i) ->
+              incr inherited;
+              true
+          | _ -> Coverage.covers cov clause eval_pos_arr.(i)
+        in
+        if covered then begin
+          pos_cov.(i) <- true;
+          incr c
+        end
+      done;
+      !c
+    in
+    let p_probe = count_pos 0 n_probe in
     if p_probe < 2 then
-      { clause; pos_covered = p_probe; neg_covered = 0;
-        score = pos_weight *. float_of_int p_probe }
+      finish
+        { clause; pos_covered = p_probe; neg_covered = 0;
+          score = pos_weight *. float_of_int p_probe; pos_cov; neg_cov }
     else begin
-      let pos_covered = p_probe + Coverage.count cov clause rest_pos in
+      let pos_covered = p_probe + count_pos n_probe n_pos in
       (* abort negative counting once the weighted score goes negative *)
       let weighted_pos = pos_weight *. float_of_int pos_covered in
       let neg_covered = ref 0 in
       (try
-         List.iter
-           (fun e ->
-             if Coverage.covers cov clause e then begin
-               incr neg_covered;
-               if neg_weight *. float_of_int !neg_covered > weighted_pos then
-                 raise Exit
-             end)
-           eval_neg
+         for i = 0 to n_neg - 1 do
+           let covered =
+             match parent with
+             | Some p when p.neg_cov.(i) ->
+                 incr inherited;
+                 true
+             | _ -> Coverage.covers cov clause eval_neg_arr.(i)
+           in
+           if covered then begin
+             neg_cov.(i) <- true;
+             incr neg_covered;
+             if neg_weight *. float_of_int !neg_covered > weighted_pos then
+               raise Exit
+           end
+         done
        with Exit -> ());
       let neg_covered = !neg_covered in
-      {
-        clause;
-        pos_covered;
-        neg_covered;
-        score = weighted_pos -. (neg_weight *. float_of_int neg_covered);
-      }
+      finish
+        {
+          clause;
+          pos_covered;
+          neg_covered;
+          score = weighted_pos -. (neg_weight *. float_of_int neg_covered);
+          pos_cov;
+          neg_cov;
+        }
     end
   in
   let bottom =
@@ -243,8 +327,13 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
   (* The raw bottom clause is maximally specific: by construction it covers
      (about) its own seed and nothing else; a full evaluation of a clause
      with hundreds of literals would only burn the subsumption budget. *)
+  (* Nothing is verified about the bottom clause yet, so its covered sets
+     start all-false: children inherit nothing and verify from scratch. *)
   let beam =
-    ref [ { clause = bottom; pos_covered = 1; neg_covered = 0; score = pos_weight } ]
+    ref
+      [ { clause = bottom; pos_covered = 1; neg_covered = 0;
+          score = pos_weight; pos_cov = Array.make n_pos false;
+          neg_cov = Array.make n_neg false } ]
   in
   let best = ref (List.hd !beam) in
   let continue = ref true in
@@ -300,7 +389,9 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
                 let key = clause_key clause in
                 if not (Hashtbl.mem seen key) then begin
                   Hashtbl.replace seen key ();
-                  collected := clause :: !collected
+                  (* keep the ARMG parent: the child inherits its verified
+                     covered sets during evaluation *)
+                  collected := (clause, entry) :: !collected
                 end)
           (pairs targets))
       !beam;
@@ -310,7 +401,8 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
        exactly the old [parallel_map], so generous-deadline runs are
        bit-identical to pre-governance ones. *)
     let outcomes =
-      Parallel.Par.parallel_map_anytime ?pool:config.pool ~budget evaluate
+      Parallel.Par.parallel_map_anytime ?pool:config.pool ~budget
+        (fun (clause, parent) -> evaluate ~parent clause)
         (List.rev !collected)
     in
     let candidates = List.rev (List.filter_map Fun.id outcomes) in
@@ -357,8 +449,9 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
      this is cheap for genuinely hopeless seeds. *)
   if !best.clause == bottom && not (Budget.expired budget) then
     best := evaluate bottom;
-  (* Reduce the winner, then re-score it on the ranking samples so callers
-     see consistent numbers; acceptance re-checks on the full sets anyway.
+  (* Reduce the winner; {!reduce} re-scores it fully on the ranking samples
+     (inheriting the verified entries accumulated so far), so callers see
+     consistent numbers; acceptance re-checks on the full sets anyway.
      Winners that already fail the minimum criterion on the ranking sample
      (rate-corrected, so the thin negative sample does not flatter them)
      are returned as-is — they will be rejected, reduction would be wasted
@@ -374,14 +467,9 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
       || !best.pos_covered < config.min_positives
       || sample_precision !best < config.min_precision
     then !best
-    else begin
-      let reduced =
-        reduce ~pool:config.pool ~cov ~budget ~pos_weight ~neg_weight
-          !best.clause
-          eval_pos eval_neg
-      in
-      if Logic.Clause.equal reduced !best.clause then !best else evaluate reduced
-    end
+    else
+      reduce ~cov ~budget ~pos_weight ~neg_weight ~eval_pos:eval_pos_arr
+        ~eval_neg:eval_neg_arr !best
   in
   (final, sample_precision final)
 

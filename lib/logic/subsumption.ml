@@ -8,6 +8,12 @@
     - candidate filtering through a (predicate, position, value) index over
       the ground literals, so a literal with any bound argument only probes
       matching ground literals;
+    - decomposition of the body into variable-connected components solved
+      independently (one joint exponential search becomes a sum of small
+      ones), sharing a single node budget per try;
+    - incremental candidate maintenance over arrays: binding a literal
+      refilters only the open literals sharing a freshly-bound variable,
+      instead of rebuilding every remaining candidate list at every node;
     - fail-first dynamic literal ordering (fewest candidate matches first)
       with unit propagation (single-candidate literals are bound eagerly);
     - a node budget per try and randomized restarts when the budget runs out.
@@ -62,7 +68,9 @@ let ground_of_literals ls =
 let ground_size g = g.literal_count
 
 let ground_literals g =
-  Hashtbl.fold (fun _ arr acc -> Array.to_list arr @ acc) g.by_pred []
+  Hashtbl.fold
+    (fun _ arr acc -> Array.fold_left (fun acc l -> l :: acc) acc arr)
+    g.by_pred []
 
 exception Budget_exhausted
 
@@ -110,69 +118,180 @@ let candidates g subst lit =
   candidate_literals g subst lit
   |> List.filter_map (fun gl -> Substitution.match_literal subst lit gl)
 
-(* One backtracking try with a node budget. [rng] randomizes branch order on
-   restart tries; the first try is deterministic. *)
-let solve_once ~config ~rng g body subst0 =
-  let nodes = ref 0 in
+(* {2 Decomposed, incremental backtracking}
+
+   Two structural optimizations over a monolithic re-scoring search:
+
+   - {e connected-component decomposition}: after head binding, body
+     literals in distinct variable-connected components (connectivity
+     through variables still unbound by the head substitution) constrain
+     disjoint variable sets, so one joint search over the whole body — an
+     exponential in the total body size — splits into a product of
+     independent searches, each exponential only in its component's size.
+     The components share one node budget per try.
+
+   - {e incremental candidate maintenance}: each open literal carries the
+     array of ground literals still matching it under the current partial
+     substitution. Binding a literal refilters only the entries that share
+     a freshly-bound variable — everything else is untouched — where the
+     previous engine rebuilt and re-matched every remaining literal's
+     candidate list at every search node. Arrays are persistent down a
+     branch (backtracking restores them for free) and only ever shrink. *)
+
+type entry = {
+  elit : Literal.t;
+  evars : int list;  (** distinct variables of [elit] *)
+  cands : Literal.t array;
+      (** ground literals matching [elit] under the current substitution *)
+}
+
+let entry_of g subst lit =
+  let matching =
+    List.filter
+      (fun gl -> Substitution.match_literal subst lit gl <> None)
+      (candidate_literals g subst lit)
+  in
+  { elit = lit; evars = Literal.vars lit; cands = Array.of_list matching }
+
+let refilter subst e =
+  let kept =
+    Array.fold_left
+      (fun acc gl ->
+        if Substitution.match_literal subst e.elit gl <> None then gl :: acc
+        else acc)
+      [] e.cands
+  in
+  { e with cands = Array.of_list (List.rev kept) }
+
+(* One backtracking try over one component, charging search nodes to the
+   shared [nodes] counter. [rng] randomizes branch order on restart tries;
+   the first try is deterministic. Returns [None] only when the component's
+   space was exhausted — a proof of no match (budget exhaustion raises). *)
+let solve_component ~config ~rng ~nodes g subst0 body =
   let tick () =
     incr nodes;
     if !nodes > config.node_budget then raise Budget_exhausted
   in
-  let shuffle l =
+  let shuffle arr =
     match rng with
-    | None -> l
+    | None -> arr
     | Some st ->
-        let arr = Array.of_list l in
-        let n = Array.length arr in
+        let a = Array.copy arr in
+        let n = Array.length a in
         for i = n - 1 downto 1 do
           let j = Random.State.int st (i + 1) in
-          let tmp = arr.(i) in
-          arr.(i) <- arr.(j);
-          arr.(j) <- tmp
+          let tmp = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- tmp
         done;
-        Array.to_list arr
+        a
   in
-  (* At every node compute each remaining literal's candidate extensions once,
-     fail on 0, propagate on 1, else branch on the fewest. *)
-  let rec search remaining subst =
+  (* Fail-first: branch on the entry with the fewest live candidates (first
+     in body order on ties); a single-candidate entry is thereby bound
+     eagerly (unit propagation) and an empty one fails the node. *)
+  let rec search entries subst =
     tick ();
-    match remaining with
+    match entries with
     | [] -> Some subst
     | _ -> (
-        let scored =
-          List.map (fun l -> (l, candidates g subst l)) remaining
+        let best =
+          List.fold_left
+            (fun acc e ->
+              match acc with
+              | Some b when Array.length b.cands <= Array.length e.cands -> acc
+              | _ -> Some e)
+            None entries
         in
-        match List.find_opt (fun (_, cs) -> cs = []) scored with
-        | Some _ -> None
-        | None -> (
-            match List.find_opt (fun (_, cs) -> List.length cs = 1) scored with
-            | Some (lit, [ s ]) ->
-                let rest = List.filter (fun l -> not (l == lit)) remaining in
-                search rest s
-            | Some _ -> assert false
-            | None -> (
-                let sorted =
-                  List.sort
-                    (fun (_, a) (_, b) ->
-                      compare (List.length a) (List.length b))
-                    scored
-                in
-                match sorted with
-                | [] -> Some subst
-                | (lit, branches) :: _ ->
-                    let rest =
-                      List.filter (fun l -> not (l == lit)) remaining
-                    in
-                    let rec try_branches = function
-                      | [] -> None
-                      | s :: more -> (
-                          match search rest s with
-                          | Some _ as ok -> ok
-                          | None -> try_branches more)
-                    in
-                    try_branches (shuffle branches))))
+        match best with
+        | None -> assert false
+        | Some e ->
+            if Array.length e.cands = 0 then None
+            else begin
+              let rest = List.filter (fun x -> not (x == e)) entries in
+              let order =
+                if Array.length e.cands = 1 then e.cands else shuffle e.cands
+              in
+              let rec try_branches i =
+                if i >= Array.length order then None
+                else
+                  let gl = order.(i) in
+                  match Substitution.match_literal subst e.elit gl with
+                  | None -> assert false (* cands are live under [subst] *)
+                  | Some subst' ->
+                      let fresh =
+                        List.filter
+                          (fun v -> not (Substitution.mem v subst))
+                          e.evars
+                      in
+                      let dead = ref false in
+                      let rest' =
+                        if fresh = [] then rest
+                        else
+                          List.map
+                            (fun x ->
+                              if
+                                List.exists
+                                  (fun v -> List.mem v x.evars)
+                                  fresh
+                              then begin
+                                let x' = refilter subst' x in
+                                if Array.length x'.cands = 0 then dead := true;
+                                x'
+                              end
+                              else x)
+                            rest
+                      in
+                      if !dead then try_branches (i + 1)
+                      else begin
+                        match search rest' subst' with
+                        | Some _ as ok -> ok
+                        | None -> try_branches (i + 1)
+                      end
+              in
+              try_branches 0
+            end)
   in
-  search body subst0
+  let entries = List.map (entry_of g subst0) body in
+  if List.exists (fun e -> Array.length e.cands = 0) entries then None
+  else search entries subst0
+
+(* Variable-connected components of [body] under [subst]: literals in
+   distinct components share no unbound variable. Each component keeps its
+   literals in body order; components come out in order of their first
+   literal. Literals with no unbound variable are singleton components
+   (their check is a pure candidate probe). *)
+let components subst body =
+  let tagged =
+    List.mapi
+      (fun i l ->
+        ( i,
+          l,
+          List.filter (fun v -> not (Substitution.mem v subst)) (Literal.vars l)
+        ))
+      body
+  in
+  let rec group = function
+    | [] -> []
+    | ((_, _, vs0) as item) :: rest ->
+        let rec close vars members pending =
+          let touched, untouched =
+            List.partition
+              (fun (_, _, vs) -> List.exists (fun v -> List.mem v vars) vs)
+              pending
+          in
+          if touched = [] then (members, pending)
+          else
+            close
+              (List.fold_left (fun acc (_, _, vs) -> vs @ acc) vars touched)
+              (members @ touched) untouched
+        in
+        let members, rest = close vs0 [ item ] rest in
+        members :: group rest
+  in
+  group tagged
+  |> List.map (fun members ->
+         List.sort (fun (i, _, _) (j, _, _) -> compare i j) members
+         |> List.map (fun (_, l, _) -> l))
 
 type answer =
   | Subsumed of Substitution.t
@@ -188,13 +307,26 @@ type answer =
     trade-off); this one keeps them apart and reports tries / restarts /
     give-ups into [budget]'s counters. *)
 let subsumes_answer ?(config = default_config) ?rng ?budget ~subst c g =
-  let body = Clause.body c in
+  let comps = components subst (Clause.body c) in
+  (* Witnesses of distinct components bind disjoint variables (each extends
+     the shared head substitution), so their union is a witness for the
+     whole body. *)
+  let merge_witness acc w =
+    List.fold_left
+      (fun acc (v, value) -> Substitution.bind v value acc)
+      acc (Substitution.bindings w)
+  in
   let attempt r =
     Budget.hit_opt budget Budget.Subsumption_try;
-    match solve_once ~config ~rng:r g body subst with
-    | Some s -> `Found s
-    | None -> `No
-    | exception Budget_exhausted -> `Out
+    let nodes = ref 0 in
+    let rec solve acc = function
+      | [] -> `Found acc
+      | comp :: rest -> (
+          match solve_component ~config ~rng:r ~nodes g subst comp with
+          | Some w -> solve (merge_witness acc w) rest
+          | None -> `No)
+    in
+    (try solve subst comps with Budget_exhausted -> `Out)
   in
   match attempt None with
   | `Found s -> Subsumed s

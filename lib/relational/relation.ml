@@ -15,10 +15,25 @@ let tuple_to_string t = Fmt.str "%a" pp_tuple t
 let equal_tuple (a : tuple) b = a = b
 
 type index = {
-  by_value : tuple list Value.Table.t;  (** value -> tuples with that value *)
+  by_value : (int * tuple list) Value.Table.t;
+      (** value -> (bucket length, tuples with that value): the length rides
+          along so insertion and frequency probes stay O(1) — recomputing
+          [List.length bucket] per inserted tuple made index maintenance
+          quadratic in the bucket size *)
   mutable max_frequency : int;  (** M: max tuples sharing one value *)
   mutable distinct : int;  (** number of distinct values in the column *)
 }
+
+(* Shared insert: bucket lengths are maintained, never recomputed. *)
+let index_add idx pos (t : tuple) =
+  let v = t.(pos) in
+  let n, bucket =
+    try Value.Table.find idx.by_value v with Not_found -> (0, [])
+  in
+  if n = 0 then idx.distinct <- idx.distinct + 1;
+  let n = n + 1 in
+  Value.Table.replace idx.by_value v (n, t :: bucket);
+  if n > idx.max_frequency then idx.max_frequency <- n
 
 type t = {
   schema : Schema.relation_schema;
@@ -44,16 +59,7 @@ let add r (t : tuple) =
          (name r) (Array.length t) (arity r));
   r.tuples <- t :: r.tuples;
   r.cardinality <- r.cardinality + 1;
-  Hashtbl.iter
-    (fun pos idx ->
-      let v = t.(pos) in
-      let bucket = try Value.Table.find idx.by_value v with Not_found -> [] in
-      if bucket = [] then idx.distinct <- idx.distinct + 1;
-      let bucket = t :: bucket in
-      Value.Table.replace idx.by_value v bucket;
-      let freq = List.length bucket in
-      if freq > idx.max_frequency then idx.max_frequency <- freq)
-    r.indexes
+  Hashtbl.iter (fun pos idx -> index_add idx pos t) r.indexes
 
 let add_all r ts = List.iter (add r) ts
 
@@ -67,16 +73,7 @@ let build_index r pos =
   let idx =
     { by_value = Value.Table.create (max 16 r.cardinality); max_frequency = 0; distinct = 0 }
   in
-  List.iter
-    (fun t ->
-      let v = t.(pos) in
-      let bucket = try Value.Table.find idx.by_value v with Not_found -> [] in
-      if bucket = [] then idx.distinct <- idx.distinct + 1;
-      let bucket = t :: bucket in
-      Value.Table.replace idx.by_value v bucket;
-      let freq = List.length bucket in
-      if freq > idx.max_frequency then idx.max_frequency <- freq)
-    r.tuples;
+  List.iter (fun t -> index_add idx pos t) r.tuples;
   Hashtbl.replace r.indexes pos idx;
   idx
 
@@ -89,10 +86,12 @@ let index r pos =
 (** [lookup r pos v] is every tuple whose column [pos] equals [v], via the
     index: O(1) probe, as a main-memory DBMS with proper indexes would do. *)
 let lookup r pos v =
-  try Value.Table.find (index r pos).by_value v with Not_found -> []
+  try snd (Value.Table.find (index r pos).by_value v) with Not_found -> []
 
-(** [frequency r pos v] is m(v): how many tuples hold [v] in column [pos]. *)
-let frequency r pos v = List.length (lookup r pos v)
+(** [frequency r pos v] is m(v): how many tuples hold [v] in column [pos] —
+    an O(1) probe of the cached bucket length. *)
+let frequency r pos v =
+  try fst (Value.Table.find (index r pos).by_value v) with Not_found -> 0
 
 (** [max_frequency r pos] is M: an upper bound on [frequency r pos v]. *)
 let max_frequency r pos = (index r pos).max_frequency

@@ -62,6 +62,90 @@ let coverage_properties =
   [
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make
+         ~name:"memoized coverage equals a fresh uncached oracle" ~count:10
+         QCheck.(pair (int_bound 1000) small_nat)
+         (fun (seed, j) ->
+           (* Two contexts over the same world and master seed: one memoized,
+              one the uncached oracle. Every verdict must agree, and asking
+              the memoized context twice (second answer is a cache hit) must
+              not change it. *)
+           let s = 1 + (seed mod 17) in
+           let d = Datasets.Uw.generate ~seed:s ~scale:0.3 () in
+           let mk use_cache =
+             Coverage.create ~use_cache d.Datasets.Dataset.db
+               d.Datasets.Dataset.manual_bias
+               ~rng:(Random.State.make [| s; 77 |])
+           in
+           let cached = mk true and oracle = mk false in
+           let pos = Array.of_list d.Datasets.Dataset.positives in
+           let bc =
+             Learning.Bottom_clause.build d.Datasets.Dataset.db
+               d.Datasets.Dataset.manual_bias
+               ~rng:(Random.State.make [| s; 99 |])
+               ~example:pos.(j mod Array.length pos)
+           in
+           let body = Logic.Clause.body bc in
+           let half = List.filteri (fun i _ -> 2 * i < List.length body) body in
+           let clauses =
+             [ bc; Logic.Clause.make (Logic.Clause.head bc) half ]
+           in
+           let examples =
+             d.Datasets.Dataset.positives @ d.Datasets.Dataset.negatives
+           in
+           List.for_all
+             (fun c ->
+               List.for_all
+                 (fun e ->
+                   let first = Coverage.covers cached c e in
+                   let again = Coverage.covers cached c e in
+                   let truth = Coverage.covers oracle c e in
+                   first = truth && again = truth)
+                 examples)
+             clauses
+           && (Coverage.cache_stats cached).Coverage.hits > 0
+           && (Coverage.cache_stats oracle).Coverage.hits = 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"ARMG monotonicity: child covers everything its parent covers"
+         ~count:20
+         QCheck.(pair (int_bound 1000) (pair small_nat small_nat))
+         (fun (seed, (i, j)) ->
+           (* The invariant monotone propagation in Learn relies on: ARMG
+              only drops/generalizes body literals, so the child's covered
+              set contains the parent's. The containment is exact whenever
+              the evaluator is exact; a truncated (cap-subsampled) frontier
+              is the documented approximation that can lose a witness, so
+              instances where any truncation fired pass vacuously. *)
+           let s = 1 + (seed mod 17) in
+           let d = Datasets.Uw.generate ~seed:s ~scale:0.3 () in
+           let b = Budget.create () in
+           let rng = Random.State.make [| s; 77 |] in
+           let cov =
+             Coverage.create ~budget:b d.Datasets.Dataset.db
+               d.Datasets.Dataset.manual_bias ~rng
+           in
+           let pos = Array.of_list d.Datasets.Dataset.positives in
+           let e1 = pos.(i mod Array.length pos) in
+           let e2 = pos.(j mod Array.length pos) in
+           let parent =
+             Learning.Bottom_clause.build d.Datasets.Dataset.db
+               d.Datasets.Dataset.manual_bias ~rng ~example:e1
+           in
+           match Learning.Armg.generalize cov parent ~example:e2 with
+           | None -> false
+           | Some child ->
+               let monotone =
+                 List.for_all
+                   (fun e ->
+                     (not (Coverage.covers cov parent e))
+                     || Coverage.covers cov child e)
+                   (d.Datasets.Dataset.positives
+                   @ d.Datasets.Dataset.negatives)
+               in
+               monotone
+               || (Budget.counters b).Budget.coverage_truncated > 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
          ~name:"dropping body literals only generalizes (frontier engine)"
          ~count:25
          QCheck.(pair (int_bound 1000) small_nat)

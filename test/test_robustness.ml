@@ -13,14 +13,15 @@ module Learn = Learning.Learn
 
 let uw ~seed = Datasets.Uw.generate ~seed ~scale:0.4 ()
 
-let coverage_of d ~seed =
+let coverage_of ?use_cache d ~seed =
   let rng = Random.State.make [| seed |] in
-  ( Coverage.create d.Datasets.Dataset.db d.Datasets.Dataset.manual_bias ~rng,
+  ( Coverage.create ?use_cache d.Datasets.Dataset.db
+      d.Datasets.Dataset.manual_bias ~rng,
     rng )
 
-let learn_uw ?budget ?timeout ?pool ~seed () =
+let learn_uw ?budget ?timeout ?pool ?use_cache ~seed () =
   let d = uw ~seed in
-  let cov, rng = coverage_of d ~seed in
+  let cov, rng = coverage_of ?use_cache d ~seed in
   let config = { Learn.default_config with budget; timeout; pool } in
   Learn.learn ~config cov ~rng ~positives:d.Datasets.Dataset.positives
     ~negatives:d.Datasets.Dataset.negatives
@@ -84,7 +85,8 @@ let budget_tests =
 let all_events =
   Budget.
     [ Subsumption_try; Subsumption_restart; Subsumption_exhausted;
-      Coverage_truncated; Beam_cut; Candidate_abandoned; Job_skipped;
+      Coverage_truncated; Coverage_memo_hit; Coverage_memo_miss;
+      Coverage_inherited; Beam_cut; Candidate_abandoned; Job_skipped;
       Worker_fault ]
 
 let qcheck_tests =
@@ -92,7 +94,7 @@ let qcheck_tests =
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"Budget counters are monotone under any events"
          ~count:200
-         QCheck.(list (pair (int_bound 7) (int_bound 5)))
+         QCheck.(list (pair (int_bound 10) (int_bound 5)))
          (fun events ->
            let b = Budget.create () in
            let prev = ref (Budget.counters b) in
@@ -311,6 +313,37 @@ let learner_tests =
           (r.Learn.degradation.Budget.counters.Budget.worker_faults > 0);
         Alcotest.(check string) "still completed" "completed"
           (Budget.status_to_string r.Learn.degradation.Budget.status));
+    Alcotest.test_case
+      "coverage cache on/off: bit-identical definitions, fewer tests" `Slow
+      (fun () ->
+        (* The acceptance criterion of the incremental coverage engine: on a
+           fixed seed the memo must be invisible to results — sequentially
+           and under a pool — while doing measurably less subsumption
+           work. *)
+        let cached = learn_uw ~timeout:600. ~use_cache:true ~seed:5 () in
+        let uncached = learn_uw ~timeout:600. ~use_cache:false ~seed:5 () in
+        Alcotest.(check string) "sequential: identical definition"
+          (render uncached.Learn.definition)
+          (render cached.Learn.definition);
+        Alcotest.(check bool) "nonempty" true (cached.Learn.definition <> []);
+        let tries r =
+          r.Learn.degradation.Budget.counters.Budget.subsumption_tries
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "cache does strictly less work (%d < %d)"
+             (tries cached) (tries uncached))
+          true
+          (tries cached < tries uncached);
+        Alcotest.(check bool) "memo hits recorded" true
+          (cached.Learn.degradation.Budget.counters.Budget.coverage_memo_hits
+          > 0);
+        let pooled =
+          Pool.with_pool ~size:1 (fun p ->
+              learn_uw ~timeout:600. ~pool:p ~use_cache:true ~seed:5 ())
+        in
+        Alcotest.(check string) "pool=1: identical definition"
+          (render uncached.Learn.definition)
+          (render pooled.Learn.definition));
     Alcotest.test_case "degradation counters reach the result record" `Slow
       (fun () ->
         (* a tiny budget mid-way through: the run must report *why* it is

@@ -20,6 +20,12 @@ type value =
 let records : (string * (string * value) list) list ref = ref []
 let meta : (string * value) list ref = ref []
 
+(* Pre-rendered JSON object (the Obs run report) emitted verbatim as a
+   top-level "run_report" section. *)
+let report : string option ref = ref None
+
+let set_report json = report := Some json
+
 let record experiment metrics =
   records := !records @ [ (experiment, metrics) ]
 
@@ -80,5 +86,7 @@ let write path =
         (metrics_to_string metrics)
         (if i < List.length exps - 1 then "," else ""))
     exps;
-  Printf.fprintf oc "  }\n}\n";
+  (match !report with
+  | Some j -> Printf.fprintf oc "  },\n  \"run_report\": %s\n}\n" j
+  | None -> Printf.fprintf oc "  }\n}\n");
   close_out oc

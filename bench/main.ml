@@ -36,11 +36,17 @@ type options = {
           nonzero dropped-task tally in the pool stats *)
   mutable deadline : float option;
       (** global anytime deadline shared by every learning run *)
+  mutable trace : string option;
+      (** write a Chrome trace-event JSON of the whole bench run here *)
+  mutable metrics : string option;
+      (** also write the Obs run report to a standalone JSON file (it is
+          always embedded in BENCH_autobias.json) *)
 }
 
 let options =
   { data = [ "uw"; "imdb"; "hiv"; "flt"; "sys" ]; folds = 3; timeout = 30.;
-    seed = 42; scale = None; domains = None; chaos = None; deadline = None }
+    seed = 42; scale = None; domains = None; chaos = None; deadline = None;
+    trace = None; metrics = None }
 
 (* One pool for the whole run (spawning domains is the expensive part);
    created on first use when --domains (or --chaos, which needs workers to
@@ -377,11 +383,7 @@ let ablation_coverage () =
     Learning.Bottom_clause.build d.Dataset.db d.Dataset.manual_bias ~rng
       ~example:(List.hd d.Dataset.positives)
   in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let x = f () in
-    (x, Unix.gettimeofday () -. t0)
-  in
+  let time = Obs.Trace.time in
   List.iter
     (fun (label, clause) ->
       let n_sub, t_sub =
@@ -418,9 +420,7 @@ let ablation_search () =
         let cov =
           Learning.Coverage.create d.Dataset.db d.Dataset.manual_bias ~rng
         in
-        let t0 = Unix.gettimeofday () in
-        let definition = learner cov rng in
-        let elapsed = Unix.gettimeofday () -. t0 in
+        let definition, elapsed = Obs.Trace.time (fun () -> learner cov rng) in
         let m =
           Metrics.evaluate cov definition ~positives:d.Dataset.positives
             ~negatives:d.Dataset.negatives
@@ -593,9 +593,10 @@ let coverage_bench () =
       { Learning.Learn.default_config with
         timeout = Some options.timeout; budget = Some b; pool }
     in
-    let t0 = Unix.gettimeofday () in
-    let r = Learning.Learn.learn ~config cov ~rng ~positives ~negatives in
-    let elapsed = Unix.gettimeofday () -. t0 in
+    let r, elapsed =
+      Obs.Trace.time (fun () ->
+          Learning.Learn.learn ~config cov ~rng ~positives ~negatives)
+    in
     (r, elapsed, Budget.counters b, Learning.Coverage.cache_stats cov)
   in
   let rc, tc, cc, sc = run true in
@@ -711,11 +712,7 @@ let scaling () =
   (* min of 3 passes: the workload is short; the min discards warmup and
      scheduler noise *)
   let best_of_3 f =
-    let once () =
-      let t0 = Unix.gettimeofday () in
-      let x = f () in
-      (x, Unix.gettimeofday () -. t0)
-    in
+    let once () = Obs.Trace.time f in
     let r1, t1 = once () in
     let _, t2 = once () in
     let _, t3 = once () in
@@ -945,7 +942,7 @@ let experiments =
 
 let usage () =
   Fmt.pr
-    "usage: main.exe [EXPERIMENT..] [--data a,b,..] [--folds N] [--timeout S] [--seed N] [--scale F] [--domains N] [--chaos P] [--deadline S]@.";
+    "usage: main.exe [EXPERIMENT..] [--data a,b,..] [--folds N] [--timeout S] [--seed N] [--scale F] [--domains N] [--chaos P] [--deadline S] [--trace FILE.json] [--metrics FILE.json]@.";
   Fmt.pr "experiments: %s (default: all)@."
     (String.concat " " (List.map fst experiments));
   Fmt.pr
@@ -955,7 +952,13 @@ let usage () =
      the tables must come out identical, with faults tallied in the pool stats@.";
   Fmt.pr
     "--deadline S bounds the whole run: learners return best-so-far\n\
-     definitions and report their degradation counters@."
+     definitions and report their degradation counters@.";
+  Fmt.pr
+    "--trace FILE records every span (one Chrome trace-event JSON for the\n\
+     whole run, loadable in Perfetto) and prints the per-phase summary@.";
+  Fmt.pr
+    "--metrics FILE also writes the run report (metrics snapshot, phase\n\
+     timings) standalone; it is always embedded in BENCH_autobias.json@."
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -985,6 +988,12 @@ let () =
     | "--deadline" :: v :: rest ->
         options.deadline <- Some (float_of_string v);
         parse chosen rest
+    | "--trace" :: v :: rest ->
+        options.trace <- Some v;
+        parse chosen rest
+    | "--metrics" :: v :: rest ->
+        options.metrics <- Some v;
+        parse chosen rest
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -997,7 +1006,7 @@ let () =
   in
   let chosen = parse [] args in
   let chosen = if chosen = [] then List.map fst experiments else chosen in
-  let t0 = Unix.gettimeofday () in
+  if options.trace <> None then Obs.Trace.enable ();
   Bench_json.set_meta
     [ ("seed", Bench_json.I options.seed);
       ("folds", Bench_json.I options.folds);
@@ -1009,23 +1018,56 @@ let () =
        | None -> Bench_json.S "sequential");
       ("cores_recommended", Bench_json.I (Domain.recommended_domain_count ()));
       ("experiments", Bench_json.S (String.concat "," chosen)) ];
-  List.iter (fun name -> (List.assoc name experiments) ()) chosen;
-  (match !the_pool with
-  | Some p ->
-      let s = Parallel.Pool.stats p in
-      Fmt.pr "@.pool: %d domains, %d tasks run, %d faults dropped@."
-        s.Parallel.Pool.size s.Parallel.Pool.tasks_run s.Parallel.Pool.dropped;
-      Bench_json.set_meta
-        [ ("pool_tasks_run", Bench_json.I s.Parallel.Pool.tasks_run);
-          ("pool_dropped", Bench_json.I s.Parallel.Pool.dropped) ];
-      Parallel.Pool.shutdown p
-  | None -> ());
+  let (), total =
+    Obs.Trace.time (fun () ->
+        (* One span per experiment: the trace's top-level rows. *)
+        List.iter
+          (fun name ->
+            Obs.Trace.span ~cat:"bench" name (List.assoc name experiments))
+          chosen;
+        match !the_pool with
+        | Some p ->
+            let s = Parallel.Pool.stats p in
+            Fmt.pr "@.pool: %d domains, %d tasks run, %d faults dropped@."
+              s.Parallel.Pool.size s.Parallel.Pool.tasks_run
+              s.Parallel.Pool.dropped;
+            Bench_json.set_meta
+              [ ("pool_tasks_run", Bench_json.I s.Parallel.Pool.tasks_run);
+                ("pool_dropped", Bench_json.I s.Parallel.Pool.dropped) ];
+            Parallel.Pool.shutdown p
+        | None -> ())
+  in
   (match !the_budget with
   | Some b ->
       Fmt.pr "budget: %a@." Budget.pp_degradation (Budget.degradation b)
   | None -> ());
-  let total = Unix.gettimeofday () -. t0 in
   Bench_json.set_meta [ ("total_bench_time_s", Bench_json.F total) ];
+  (* The structured run report — config, degradation, metrics snapshot and
+     per-phase timings — is always embedded in BENCH_autobias.json;
+     --metrics also writes it standalone. *)
+  let report =
+    Obs.Run_report.make ~name:"bench"
+      ~config:
+        [ ("seed", Obs.Json.Int options.seed);
+          ("folds", Obs.Json.Int options.folds);
+          ("timeout_s", Obs.Json.Float options.timeout);
+          ("data", Obs.Json.Str (String.concat "," options.data));
+          ("experiments", Obs.Json.Str (String.concat "," chosen)) ]
+      ?degradation:(Option.map Budget.degradation !the_budget)
+      ()
+  in
+  Bench_json.set_report (Obs.Json.to_string (Obs.Run_report.to_json report));
+  Option.iter
+    (fun path ->
+      Obs.Run_report.write report path;
+      Fmt.pr "wrote run report to %s@." path)
+    options.metrics;
+  (match options.trace with
+  | Some path ->
+      Fmt.pr "%s" (Obs.Trace.summary_string ());
+      Obs.Trace.export_json path;
+      Fmt.pr "wrote trace to %s@." path
+  | None -> ());
   Bench_json.write "BENCH_autobias.json";
   Fmt.pr "@.machine-readable metrics written to BENCH_autobias.json@.";
   Fmt.pr "total bench time: %s@." (CV.format_time total)

@@ -76,6 +76,50 @@ let config ?(coverage_cache = true) ~strategy ~timeout () =
     coverage_cache;
   }
 
+let trace_arg =
+  let doc =
+    "Record a span trace of the run and write it to $(docv) as Chrome \
+     trace-event JSON (load in chrome://tracing or ui.perfetto.dev). A \
+     plain-text per-phase summary is printed after the run. Tracing never \
+     touches any RNG, so the learned definition is identical with and \
+     without it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a machine-readable run report to $(docv) as JSON: run \
+     configuration, degradation counters, the metrics snapshot \
+     (counters/gauges/latency histograms) and per-phase timings."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Enable the tracer when asked, run the command, then export the trace and
+   the run report — also on exceptions, so a run cut by Ctrl-C still leaves
+   its observability artifacts behind. The continuation receives
+   [~note_degradation] to attach the run's budget accounting to the report. *)
+let with_observability ~trace ~metrics ~name ~config k =
+  if trace <> None then Obs.Trace.enable ();
+  let degradation = ref None in
+  let finish () =
+    (match trace with
+    | Some path ->
+        Fmt.pr "%s" (Obs.Trace.summary_string ());
+        Obs.Trace.export_json path;
+        Fmt.pr "wrote trace to %s@." path
+    | None -> ());
+    match metrics with
+    | Some path ->
+        let report =
+          Obs.Run_report.make ~name ~config ?degradation:!degradation ()
+        in
+        Obs.Run_report.write report path;
+        Fmt.pr "wrote run report to %s@." path
+    | None -> ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      k ~note_degradation:(fun d -> degradation := Some d))
+
 let no_cache_arg =
   let doc =
     "Disable the coverage-verdict memo table (A/B measurement). Verdicts \
@@ -126,9 +170,26 @@ let load_definition path =
 
 let learn_cmd =
   let run dataset_name method_name strategy scale seed timeout deadline domains
-      chaos no_cache cv show_bias output =
+      chaos no_cache cv show_bias output trace metrics =
     let dataset = dataset_of_name ~scale ~seed dataset_name in
     let method_ = Autobias.method_of_string method_name in
+    let report_config =
+      Obs.Json.
+        [
+          ("dataset", Str dataset_name);
+          ("method", Str method_name);
+          ("strategy", Str strategy);
+          ("scale", Float scale);
+          ("seed", Int seed);
+          ("timeout_s", Float timeout);
+          ("cv", Bool cv);
+          ( "domains",
+            match domains with Some d -> Int d | None -> Null );
+        ]
+    in
+    with_observability ~trace ~metrics ~name:("learn:" ^ dataset_name)
+      ~config:report_config
+    @@ fun ~note_degradation ->
     with_resources ~seed ~deadline ~domains ~chaos @@ fun ~budget pool ->
     let config =
       { (config ~coverage_cache:(not no_cache) ~strategy ~timeout ()) with
@@ -142,6 +203,7 @@ let learn_cmd =
         dataset_name
         (List.length result.Evaluation.Cross_validation.folds)
         Evaluation.Cross_validation.pp_result result;
+      Option.iter (fun b -> note_degradation (Budget.degradation b)) budget;
       report_run ~budget pool
     end
     else begin
@@ -161,7 +223,9 @@ let learn_cmd =
         (if r.Autobias.timed_out then " (timed out)" else "")
         Logic.Clause.pp_definition r.Autobias.definition;
       Option.iter
-        (fun d -> Fmt.pr "degradation: %a@." Budget.pp_degradation d)
+        (fun d ->
+          note_degradation d;
+          Fmt.pr "degradation: %a@." Budget.pp_degradation d)
         r.Autobias.degradation;
       report_run ~budget:None pool;
       let cov =
@@ -195,7 +259,7 @@ let learn_cmd =
     Term.(
       const run $ dataset_arg $ method_arg $ strategy_arg $ scale_arg $ seed_arg
       $ timeout_arg $ deadline_arg $ domains_arg $ chaos_arg $ no_cache_arg
-      $ cv_arg $ show_bias_arg $ output_arg)
+      $ cv_arg $ show_bias_arg $ output_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- bias ---------------- *)
 

@@ -102,6 +102,7 @@ type bias_info = {
     discovery over the database plus the training positives, type graph,
     predicate/mode generation); the others are instantaneous. *)
 let bias_for method_ config (dataset : Datasets.Dataset.t) ~train_pos =
+  Obs.Trace.span ~cat:"discovery" "bias_for" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let schema = Relational.Database.schema dataset.Datasets.Dataset.db in
   let target = dataset.Datasets.Dataset.target in
@@ -183,6 +184,10 @@ type run_result = {
     definition on one training split. *)
 let learn_once ?(config = default_config) method_ dataset ~rng ~train_pos
     ~train_neg =
+  Obs.Trace.span ~cat:"learn"
+    ~args:[ ("method", method_to_string method_) ]
+    "learn_once"
+  @@ fun () ->
   let bias_info = bias_for method_ config dataset ~train_pos in
   let cov = coverage_context config dataset bias_info.bias ~rng in
   let t0 = Unix.gettimeofday () in

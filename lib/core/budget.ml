@@ -171,15 +171,30 @@ let counters_leq a b =
   && a.jobs_skipped <= b.jobs_skipped
   && a.worker_faults <= b.worker_faults
 
+let counters_to_assoc c =
+  [
+    ("subsumption_tries", c.subsumption_tries);
+    ("subsumption_restarts", c.subsumption_restarts);
+    ("subsumption_exhausted", c.subsumption_exhausted);
+    ("coverage_truncated", c.coverage_truncated);
+    ("coverage_memo_hits", c.coverage_memo_hits);
+    ("coverage_memo_misses", c.coverage_memo_misses);
+    ("coverage_inherited", c.coverage_inherited);
+    ("beam_rounds_cut", c.beam_rounds_cut);
+    ("candidates_abandoned", c.candidates_abandoned);
+    ("jobs_skipped", c.jobs_skipped);
+    ("worker_faults", c.worker_faults);
+  ]
+
+(* Zero counters are elided: a clean `--deadline` run prints "no degradation
+   events" instead of a wall of zeroes. *)
 let pp_counters ppf c =
-  Fmt.pf ppf
-    "subsumption %d tries / %d restarts / %d gave up; frontier truncations \
-     %d; coverage memo %d hits / %d misses / %d inherited; beam rounds cut \
-     %d; candidates abandoned %d; jobs skipped %d; worker faults %d"
-    c.subsumption_tries c.subsumption_restarts c.subsumption_exhausted
-    c.coverage_truncated c.coverage_memo_hits c.coverage_memo_misses
-    c.coverage_inherited c.beam_rounds_cut c.candidates_abandoned
-    c.jobs_skipped c.worker_faults
+  match List.filter (fun (_, v) -> v <> 0) (counters_to_assoc c) with
+  | [] -> Fmt.pf ppf "no degradation events"
+  | nonzero ->
+      Fmt.pf ppf "%a"
+        Fmt.(list ~sep:(any "; ") (fun ppf (k, v) -> Fmt.pf ppf "%s %d" k v))
+        nonzero
 
 type degradation = {
   status : status;

@@ -122,6 +122,13 @@ val zero : counters
     (the monotonicity the qcheck property asserts). *)
 val counters_leq : counters -> counters -> bool
 
+(** [counters_to_assoc c] is every counter as [(snake_case_name, value)], in
+    declaration order — the shape JSON exporters ({!Obs.Run_report}, the
+    bench harness) reuse. *)
+val counters_to_assoc : counters -> (string * int) list
+
+(** [pp_counters ppf c] prints only the nonzero counters ("no degradation
+    events" when all are zero), keeping [--deadline] CLI output readable. *)
 val pp_counters : Format.formatter -> counters -> unit
 
 (** {1 Degradation record} — how a finished run should be read. *)

@@ -101,17 +101,27 @@ type result = {
 let induce ?(ind_config = Ind.default_config) ?(threshold = Relative 0.18)
     ?(power_set_cap = 8) ?(product_cap = 64) db
     ~(target : Schema.relation_schema) ~positive_examples =
+  Obs.Trace.span ~cat:"discovery" "induce" @@ fun () ->
   let example_rel = Relational.Relation.of_tuples target positive_examples in
-  let t0 = Unix.gettimeofday () in
-  let inds =
-    Ind.discover ~config:ind_config db ~extra:[ example_rel ]
-    |> Ind.keep_lower_of_symmetric
+  let inds, ind_time =
+    Obs.Trace.time (fun () ->
+        Obs.Trace.span ~cat:"discovery" "ind_discovery" (fun () ->
+            Ind.discover ~config:ind_config db ~extra:[ example_rel ]
+            |> Ind.keep_lower_of_symmetric))
   in
-  let ind_time = Unix.gettimeofday () -. t0 in
   let schema = Relational.Database.schema db in
   let attributes = Schema.all_attributes (target :: schema) in
-  let graph = Type_graph.build ~attributes inds in
-  let predicate_defs = predicate_defs ~product_cap ~graph (target :: schema) in
-  let modes = mode_defs ~power_set_cap ~threshold db in
+  let graph =
+    Obs.Trace.span ~cat:"discovery" "type_graph" (fun () ->
+        Type_graph.build ~attributes inds)
+  in
+  let predicate_defs =
+    Obs.Trace.span ~cat:"discovery" "predicate_defs" (fun () ->
+        predicate_defs ~product_cap ~graph (target :: schema))
+  in
+  let modes =
+    Obs.Trace.span ~cat:"discovery" "mode_defs" (fun () ->
+        mode_defs ~power_set_cap ~threshold db)
+  in
   let bias = Bias.Language.make ~schema ~target ~predicate_defs ~modes in
   { bias; graph; inds; ind_time }

@@ -38,6 +38,8 @@ let default_config =
     max_body_literals = 1000;
   }
 
+let m_build = Obs.Metrics.histogram "bottom_clause.build_s"
+
 type state = {
   bias : Bias.Language.t;
   db : Relational.Database.t;
@@ -156,6 +158,11 @@ let tuples_for_mode st (mode : Bias.Mode.t) =
     head of a ground BC is matched against the example directly).
     Raises [Invalid_argument] on an arity mismatch with the target. *)
 let build ?(config = default_config) ?(ground = false) db bias ~rng ~example =
+  Obs.Metrics.time m_build @@ fun () ->
+  Obs.Trace.span ~cat:"learn"
+    ~args:[ ("ground", string_of_bool ground) ]
+    "bottom_clause"
+  @@ fun () ->
   let target = Bias.Language.target bias in
   let target_name = target.Relational.Schema.rel_name in
   if Array.length example <> Relational.Schema.arity target then
@@ -211,7 +218,10 @@ let build ?(config = default_config) ?(ground = false) db bias ~rng ~example =
         ordered_modes
     end
   done;
-  Logic.Clause.make head (List.rev st.order)
+  let clause = Logic.Clause.make head (List.rev st.order) in
+  if Obs.Trace.enabled () then
+    Obs.Trace.arg "body_lits" (string_of_int (Logic.Clause.size clause));
+  clause
 
 (** [build_ground ?config db bias ~rng ~example] is the ground bottom clause
     used by coverage testing (Section 5): same reachable tuples, body kept

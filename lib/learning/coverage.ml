@@ -20,6 +20,14 @@
 
 module Value = Relational.Value
 
+(* Observability handles, registered once at module init. The histogram
+   tracks real (uncached) subsumption evaluations; memo traffic and
+   inheritance stay in the Budget counters — the single source of truth for
+   degradation accounting — and show up as span args here. *)
+let m_eval = Obs.Metrics.histogram "coverage.eval_s"
+let m_tests = Obs.Metrics.counter "coverage.tests"
+let m_ground_bcs = Obs.Metrics.counter "coverage.ground_bcs_built"
+
 (* {2 The coverage memo}
 
    Coverage verdicts are pure: [eval] is a function of (clause, ground BC)
@@ -136,11 +144,15 @@ let ground_of t example =
       g
   | None ->
       Mutex.unlock t.lock;
-      let clause =
-        Bottom_clause.build_ground ~config:t.bc_config t.db t.bias
-          ~rng:(example_rng t example) ~example
+      let g =
+        Obs.Trace.span ~cat:"coverage" "ground_bc" (fun () ->
+            Obs.Metrics.bump m_ground_bcs;
+            let clause =
+              Bottom_clause.build_ground ~config:t.bc_config t.db t.bias
+                ~rng:(example_rng t example) ~example
+            in
+            Logic.Subsumption.ground_of_literals (Logic.Clause.body clause))
       in
-      let g = Logic.Subsumption.ground_of_literals (Logic.Clause.body clause) in
       Mutex.lock t.lock;
       let g =
         match Hashtbl.find_opt t.grounds example with
@@ -152,12 +164,34 @@ let ground_of t example =
       Mutex.unlock t.lock;
       g
 
+(* Batch entry points run inside a span carrying the batch size and the memo
+   traffic the batch generated (hit/miss deltas read from the memo's own
+   atomics). Checking [enabled] first keeps the disabled path at one atomic
+   load before the real work. *)
+let traced_batch t name ~examples f =
+  if not (Obs.Trace.enabled ()) then f ()
+  else
+    Obs.Trace.span ~cat:"coverage"
+      ~args:[ ("examples", string_of_int examples) ]
+      name
+      (fun () ->
+        match t.memo with
+        | None -> f ()
+        | Some m ->
+            let h0 = Atomic.get m.hits and m0 = Atomic.get m.misses in
+            let r = f () in
+            Obs.Trace.arg "memo_hits" (string_of_int (Atomic.get m.hits - h0));
+            Obs.Trace.arg "memo_misses"
+              (string_of_int (Atomic.get m.misses - m0));
+            r)
+
 (** [warm ?pool t examples] precomputes ground BCs for [examples] (the paper
     builds them once, up front), fanning construction out across [pool] when
     given. Per-example RNG derivation makes the result independent of the
     pool size and of scheduling. *)
 let warm ?pool t examples =
-  Parallel.Par.parallel_iter ?pool (fun e -> ignore (ground_of t e)) examples
+  traced_batch t "warm" ~examples:(List.length examples) (fun () ->
+      Parallel.Par.parallel_iter ?pool (fun e -> ignore (ground_of t e)) examples)
 
 (** [head_subst clause example] binds the head of [clause] to [example]:
     variables map to the example's constants; constant head arguments must
@@ -186,11 +220,13 @@ let head_subst clause (example : Relational.Relation.tuple) =
    avoided. *)
 let eval_uncached t clause example =
   Budget.hit_opt t.budget Budget.Subsumption_try;
-  match head_subst clause example with
-  | None -> Logic.Subsumption.Blocked 0
-  | Some subst ->
-      let g = ground_of t example in
-      Logic.Subsumption.eval_prefix ?budget:t.budget ~subst clause g
+  Obs.Metrics.bump m_tests;
+  Obs.Metrics.time m_eval (fun () ->
+      match head_subst clause example with
+      | None -> Logic.Subsumption.Blocked 0
+      | Some subst ->
+          let g = ground_of t example in
+          Logic.Subsumption.eval_prefix ?budget:t.budget ~subst clause g)
 
 (** [eval t clause example] evaluates [clause] against [example] with the
     substitution-set prefix evaluator: [Covered w] with a witness, or
@@ -244,17 +280,22 @@ let covered t clause examples = List.filter (covers t clause) examples
 
 (** [count t clause examples] is [List.length (covered t clause examples)]. *)
 let count t clause examples =
-  List.fold_left (fun acc e -> if covers t clause e then acc + 1 else acc) 0 examples
+  traced_batch t "coverage_count" ~examples:(List.length examples) (fun () ->
+      List.fold_left
+        (fun acc e -> if covers t clause e then acc + 1 else acc)
+        0 examples)
 
 (** [covered_many ?pool t clause examples] is {!covered} with the per-example
     tests fanned out across [pool]; result order is input order. *)
 let covered_many ?pool t clause examples =
-  Parallel.Par.parallel_filter ?pool (covers t clause) examples
+  traced_batch t "covered_many" ~examples:(List.length examples) (fun () ->
+      Parallel.Par.parallel_filter ?pool (covers t clause) examples)
 
 (** [count_many ?pool t clause examples] is {!count} with the per-example
     tests fanned out across [pool]. *)
 let count_many ?pool t clause examples =
-  Parallel.Par.parallel_filter_count ?pool (covers t clause) examples
+  traced_batch t "count_many" ~examples:(List.length examples) (fun () ->
+      Parallel.Par.parallel_filter_count ?pool (covers t clause) examples)
 
 (** [definition_covers t def example] holds iff some clause of [def] covers
     [example] (Horn-definition coverage, Definition 2.4). *)

@@ -123,6 +123,14 @@ type scored = {
 
 let clause_key c = Logic.Clause.to_string c
 
+(* Observability handles (module-init registration; see lib/obs). Candidate
+   and acceptance totals overlap with the per-run [stats] record on purpose:
+   these aggregate across every learn call in the process, which is what a
+   metrics snapshot wants. *)
+let m_candidates = Obs.Metrics.counter "learn.candidates_evaluated"
+let m_clauses = Obs.Metrics.counter "learn.clauses_accepted"
+let m_clause_search = Obs.Metrics.histogram "learn.clause_search_s"
+
 (* Uniform sample without replacement of at most [n] elements. *)
 let sample_list rng n l =
   let arr = Array.of_list l in
@@ -161,6 +169,8 @@ let take = Logic.Util.take
    {!scored}: the result carries {e complete} covered sets (no staged
    early-outs here), so the caller needs no re-evaluation pass. *)
 let reduce ~cov ~budget ~pos_weight ~neg_weight ~eval_pos ~eval_neg best =
+  Obs.Trace.span ~cat:"learn" "reduce" @@ fun () ->
+  Obs.Trace.arg "body_lits_in" (string_of_int (Logic.Clause.size best.clause));
   (* Full evaluation of [clause], inheriting the verified-covered entries of
      the generalization parent. *)
   let eval_full ~parent_pos ~parent_neg clause =
@@ -224,6 +234,8 @@ let reduce ~cov ~budget ~pos_weight ~neg_weight ~eval_pos ~eval_neg best =
         if candidate.score >= !current.score then current := candidate
       end)
     (List.rev (Logic.Clause.body best.clause));
+  Obs.Trace.arg "body_lits_out"
+    (string_of_int (Logic.Clause.size !current.clause));
   !current
 
 let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
@@ -257,6 +269,10 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
      it is on in both cache modes and never changes a verdict. *)
   let evaluate ?parent clause =
     Atomic.incr candidates_evaluated;
+    Obs.Metrics.bump m_candidates;
+    Obs.Trace.span ~cat:"learn" "evaluate_candidate" @@ fun () ->
+    if Obs.Trace.enabled () then
+      Obs.Trace.arg "body_lits" (string_of_int (Logic.Clause.size clause));
     let pos_cov = Array.make n_pos false in
     let neg_cov = Array.make n_neg false in
     let inherited = ref 0 in
@@ -351,6 +367,8 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
     && not (Budget.expired budget)
   do
     incr steps;
+    Obs.Trace.span ~cat:"learn" "beam_step" @@ fun () ->
+    Obs.Trace.arg "step" (string_of_int !steps);
     let targets = sample_list rng config.generalization_sample uncovered in
     let seen = Hashtbl.create 16 in
     List.iter (fun s -> Hashtbl.replace seen (clause_key s.clause) ()) !beam;
@@ -406,6 +424,7 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
         (List.rev !collected)
     in
     let candidates = List.rev (List.filter_map Fun.id outcomes) in
+    Obs.Trace.arg "candidates" (string_of_int (List.length candidates));
     Budget.add budget Budget.Candidate_abandoned
       (List.length outcomes - List.length candidates);
     let merged = candidates @ !beam in
@@ -516,6 +535,14 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
         false
   in
   (try
+     Obs.Trace.span ~cat:"learn"
+       ~args:
+         [
+           ("positives", string_of_int (List.length positives));
+           ("negatives", string_of_int (List.length negatives));
+         ]
+       "learn"
+     @@ fun () ->
      while
        !uncovered <> []
        && List.length !definition < config.max_clauses
@@ -526,8 +553,11 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
        | [] -> assert false
        | seed :: _ ->
            let best, sample_precision =
-             learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated
-               ~uncovered:!uncovered ~negatives ~seed
+             Obs.Metrics.time m_clause_search (fun () ->
+                 Obs.Trace.span ~cat:"learn" "learn_clause" (fun () ->
+                     learn_clause ~config ~cov ~rng ~budget
+                       ~candidates_evaluated ~uncovered:!uncovered ~negatives
+                       ~seed))
            in
            (* Acceptance uses the full training set, not the ranking
               subsample; clauses that already failed on the (rate-corrected)
@@ -557,6 +587,7 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
                  m "accepted clause (p=%d n=%d): %s" pos_covered neg_covered
                    (Logic.Clause.to_string best.clause));
              consecutive_skips := 0;
+             Obs.Metrics.bump m_clauses;
              definition := best.clause :: !definition;
              uncovered :=
                Parallel.Par.parallel_filter ?pool:config.pool

@@ -307,6 +307,11 @@ type answer =
     trade-off); this one keeps them apart and reports tries / restarts /
     give-ups into [budget]'s counters. *)
 let subsumes_answer ?(config = default_config) ?rng ?budget ~subst c g =
+  Obs.Trace.span ~cat:"subsumption" "subsumes" @@ fun () ->
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.arg "body_lits" (string_of_int (List.length (Clause.body c)));
+    Obs.Trace.arg "ground_lits" (string_of_int (ground_size g))
+  end;
   let comps = components subst (Clause.body c) in
   (* Witnesses of distinct components bind disjoint variables (each extends
      the shared head substitution), so their union is a witness for the
@@ -340,10 +345,12 @@ let subsumes_answer ?(config = default_config) ?rng ?budget ~subst c g =
       let rec retry k =
         if k = 0 then begin
           Budget.hit_opt budget Budget.Subsumption_exhausted;
+          Obs.Trace.arg "gave_up" "true";
           Gave_up
         end
         else begin
           Budget.hit_opt budget Budget.Subsumption_restart;
+          Obs.Trace.arg "restart" (string_of_int (config.restarts - k + 1));
           match attempt (Some rng) with
           | `Found s -> Subsumed s
           | `No -> Not_subsumed
@@ -431,6 +438,7 @@ let step_frontier ?(cap = default_frontier_cap) ?budget g frontier lit =
     [g] left to right starting from [subst], one {!step_frontier} per body
     literal; frontier truncations report into [budget]. *)
 let eval_prefix ?cap ?budget ~subst c g =
+  Obs.Trace.span ~cat:"subsumption" "eval_prefix" @@ fun () ->
   let rec go i frontier = function
     | [] -> (
         match frontier with
@@ -438,7 +446,9 @@ let eval_prefix ?cap ?budget ~subst c g =
         | [] -> assert false)
     | lit :: rest -> (
         match step_frontier ?cap ?budget g frontier lit with
-        | [] -> Blocked i
+        | [] ->
+            Obs.Trace.arg "blocked_at" (string_of_int i);
+            Blocked i
         | next -> go (i + 1) next rest)
   in
   go 1 [ subst ] (Clause.body c)

@@ -1,0 +1,32 @@
+(** A minimal JSON tree: emitter for the observability exports (trace files,
+    metrics snapshots, run reports) and a strict parser used by the tests
+    and CI smoke to validate that what we wrote is actually JSON. Kept
+    dependency-free on purpose — the repo bakes in no JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string j] is compact single-line JSON. Non-finite floats emit
+    [null] (JSON has no NaN/Infinity). *)
+val to_string : t -> string
+
+(** [to_buffer buf j] appends [to_string j] to [buf] without intermediate
+    strings (trace files hold hundreds of thousands of events). *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** [write path j] writes [to_string j] (plus a trailing newline) to
+    [path]. *)
+val write : string -> t -> unit
+
+(** [parse s] parses strict JSON. Numbers with a fraction or exponent
+    become [Float], the rest [Int]. *)
+val parse : string -> (t, string) result
+
+(** [member key j] is the value under [key] when [j] is an object. *)
+val member : string -> t -> t option

@@ -1,0 +1,53 @@
+(** Structured run reports. See run_report.mli. *)
+
+type t = {
+  name : string;
+  config : (string * Json.t) list;
+  degradation : Budget.degradation option;
+  metrics : Metrics.snapshot;
+  phases : Trace.summary_row list;
+}
+
+let make ~name ?(config = []) ?degradation () =
+  {
+    name;
+    config;
+    degradation;
+    metrics = Metrics.snapshot ();
+    phases = Trace.summary_rows ();
+  }
+
+let degradation_json (d : Budget.degradation) =
+  Json.Obj
+    [
+      ("status", Json.Str (Budget.status_to_string d.Budget.status));
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             (Budget.counters_to_assoc d.Budget.counters)) );
+    ]
+
+let phase_json (r : Trace.summary_row) =
+  Json.Obj
+    [
+      ("path", Json.Str (String.concat "/" r.Trace.row_path));
+      ("calls", Json.Int r.Trace.calls);
+      ("total_s", Json.Float r.Trace.total_s);
+      ("self_s", Json.Float r.Trace.self_s);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("name", Json.Str t.name);
+      ("config", Json.Obj t.config);
+      ( "degradation",
+        match t.degradation with
+        | Some d -> degradation_json d
+        | None -> Json.Null );
+      ("metrics", Metrics.to_json t.metrics);
+      ("phases", Json.List (List.map phase_json t.phases));
+    ]
+
+let write t path = Json.write path (to_json t)

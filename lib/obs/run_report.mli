@@ -1,0 +1,29 @@
+(** Machine-readable run reports: one structured record tying together the
+    run configuration, the {!Budget} degradation record (status + the
+    shared degradation counters — memo hits/misses/inherited, subsumption
+    tries, ... — of which {!Budget} stays the single source of truth), the
+    {!Metrics} snapshot, and the {!Trace} per-phase timing rows. The CLI
+    writes one as [--metrics FILE.json]; the bench harness embeds one into
+    [BENCH_autobias.json]. *)
+
+type t = {
+  name : string;
+  config : (string * Json.t) list;  (** free-form run parameters *)
+  degradation : Budget.degradation option;
+  metrics : Metrics.snapshot;
+  phases : Trace.summary_row list;
+}
+
+(** [make ~name ?config ?degradation ()] snapshots the global metrics
+    registry and tracer now. *)
+val make :
+  name:string ->
+  ?config:(string * Json.t) list ->
+  ?degradation:Budget.degradation ->
+  unit ->
+  t
+
+val to_json : t -> Json.t
+
+(** [write t path] writes [to_json t] to [path]. *)
+val write : t -> string -> unit

@@ -1,0 +1,288 @@
+(** Span tracer with Chrome trace-event export. See trace.mli.
+
+    State is one atomic holding [tracer option]: the disabled fast path is a
+    single [Atomic.get] returning [None]. Each domain keeps its own stack of
+    open frames in domain-local storage, so nesting needs no locks; closed
+    spans go into a shared ring buffer via one [fetch_and_add] per span. *)
+
+type event = {
+  name : string;
+  cat : string;
+  track : int;
+  path : string list;
+  t_start_us : float;
+  t_end_us : float;
+  args : (string * string) list;
+}
+
+type tracer = {
+  buf : event option array;
+  cursor : int Atomic.t;  (** total spans recorded; slot = i mod capacity *)
+  epoch : float;  (** Budget.now at enable; timestamps are µs since this *)
+}
+
+let state : tracer option Atomic.t = Atomic.make None
+
+let default_capacity = 1 lsl 18
+
+let enable ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  Atomic.set state
+    (Some
+       {
+         buf = Array.make capacity None;
+         cursor = Atomic.make 0;
+         epoch = Budget.now ();
+       })
+
+let disable () = Atomic.set state None
+
+let enabled () = Atomic.get state <> None
+
+let now_us t = (Budget.now () -. t.epoch) *. 1e6
+
+(* Per-domain stack of open frames. [args] is mutable so [arg] can attach
+   pairs discovered mid-span; only the owning domain touches its frames. *)
+type frame = {
+  f_name : string;
+  f_cat : string;
+  f_path : string list;  (** reversed: self first *)
+  f_start : float;
+  mutable f_args : (string * string) list;
+}
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let record t ev =
+  let i = Atomic.fetch_and_add t.cursor 1 in
+  t.buf.(i mod Array.length t.buf) <- Some ev
+
+let span ?(args = []) ~cat name f =
+  match Atomic.get state with
+  | None -> f ()
+  | Some t ->
+      let stack = Domain.DLS.get stack_key in
+      let parent_path = match !stack with [] -> [] | fr :: _ -> fr.f_path in
+      let fr =
+        {
+          f_name = name;
+          f_cat = cat;
+          f_path = name :: parent_path;
+          f_start = now_us t;
+          f_args = List.rev args;
+        }
+      in
+      stack := fr :: !stack;
+      let close () =
+        (match !stack with
+        | fr' :: tl when fr' == fr -> stack := tl
+        | _ -> () (* unbalanced close: a frame was lost; drop silently *));
+        record t
+          {
+            name;
+            cat;
+            track = (Domain.self () :> int);
+            path = List.rev fr.f_path;
+            t_start_us = fr.f_start;
+            t_end_us = now_us t;
+            args = List.rev fr.f_args;
+          }
+      in
+      Fun.protect ~finally:close f
+
+let arg key value =
+  match Atomic.get state with
+  | None -> ()
+  | Some _ -> (
+      let stack = Domain.DLS.get stack_key in
+      match !stack with
+      | [] -> ()
+      | fr :: _ -> fr.f_args <- (key, value) :: fr.f_args)
+
+let time f =
+  let t0 = Budget.now () in
+  let x = f () in
+  (x, Budget.now () -. t0)
+
+let events () =
+  match Atomic.get state with
+  | None -> []
+  | Some t ->
+      let cap = Array.length t.buf in
+      let total = Atomic.get t.cursor in
+      let n = min total cap in
+      let first = if total <= cap then 0 else total mod cap in
+      List.init n (fun k -> t.buf.((first + k) mod cap))
+      |> List.filter_map Fun.id
+
+let dropped () =
+  match Atomic.get state with
+  | None -> 0
+  | Some t -> max 0 (Atomic.get t.cursor - Array.length t.buf)
+
+(* {2 Chrome trace-event export}
+
+   Completed spans are replayed per track as balanced B/E pairs: spans of a
+   track are sorted by (start, depth, record order) and swept with a stack —
+   before opening a span every open span that ends at or before its start is
+   closed. Scoped spans on one domain are properly nested under a monotone
+   clock, so this emits per-track event streams whose timestamps never
+   decrease and whose B/E events balance by construction (one B and one E
+   per span). *)
+
+let args_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
+
+let to_json () =
+  let evs = events () in
+  let by_track = Hashtbl.create 8 in
+  List.iteri
+    (fun i ev ->
+      let cur = try Hashtbl.find by_track ev.track with Not_found -> [] in
+      Hashtbl.replace by_track ev.track ((i, ev) :: cur))
+    evs;
+  let tracks =
+    Hashtbl.fold (fun tid evs acc -> (tid, evs) :: acc) by_track []
+    |> List.sort compare
+  in
+  let out = ref [] in
+  let emit j = out := j :: !out in
+  List.iter
+    (fun (tid, tevs) ->
+      emit
+        (Json.Obj
+           [
+             ("ph", Json.Str "M");
+             ("name", Json.Str "thread_name");
+             ("pid", Json.Int 1);
+             ("tid", Json.Int tid);
+             ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain-%d" tid)) ]);
+           ]);
+      let sorted =
+        List.sort
+          (fun (i, a) (j, b) ->
+            match compare a.t_start_us b.t_start_us with
+            | 0 -> (
+                match compare (List.length a.path) (List.length b.path) with
+                | 0 -> compare i j
+                | c -> c)
+            | c -> c)
+          tevs
+      in
+      let open_stack = ref [] in
+      let emit_end ev =
+        emit
+          (Json.Obj
+             [
+               ("ph", Json.Str "E");
+               ("name", Json.Str ev.name);
+               ("cat", Json.Str ev.cat);
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("ts", Json.Float ev.t_end_us);
+             ])
+      in
+      let emit_begin ev =
+        emit
+          (Json.Obj
+             [
+               ("ph", Json.Str "B");
+               ("name", Json.Str ev.name);
+               ("cat", Json.Str ev.cat);
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("ts", Json.Float ev.t_start_us);
+               ("args", args_json ev.args);
+             ])
+      in
+      List.iter
+        (fun (_, ev) ->
+          let rec close_finished () =
+            match !open_stack with
+            | top :: rest when top.t_end_us <= ev.t_start_us ->
+                emit_end top;
+                open_stack := rest;
+                close_finished ()
+            | _ -> ()
+          in
+          close_finished ();
+          emit_begin ev;
+          open_stack := ev :: !open_stack)
+        sorted;
+      List.iter emit_end !open_stack)
+    tracks;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !out));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("dropped_spans", Json.Int (dropped ())) ]);
+    ]
+
+let export_json path = Json.write path (to_json ())
+
+(* {2 Per-phase summary tree} *)
+
+type summary_row = {
+  row_path : string list;
+  calls : int;
+  total_s : float;
+  self_s : float;
+}
+
+let summary_rows () =
+  let totals : (string list, int * float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      let dur = (ev.t_end_us -. ev.t_start_us) /. 1e6 in
+      let calls, total =
+        try Hashtbl.find totals ev.path with Not_found -> (0, 0.)
+      in
+      Hashtbl.replace totals ev.path (calls + 1, total +. dur))
+    (events ());
+  (* self = total - Σ direct children's totals *)
+  let child_time : (string list, float) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun path (_, total) ->
+      match List.rev path with
+      | [] -> ()
+      | _ :: parent_rev when parent_rev <> [] ->
+          let parent = List.rev parent_rev in
+          let cur = try Hashtbl.find child_time parent with Not_found -> 0. in
+          Hashtbl.replace child_time parent (cur +. total)
+      | _ -> ())
+    totals;
+  Hashtbl.fold
+    (fun path (calls, total) acc ->
+      let children = try Hashtbl.find child_time path with Not_found -> 0. in
+      {
+        row_path = path;
+        calls;
+        total_s = total;
+        self_s = Float.max 0. (total -. children);
+      }
+      :: acc)
+    totals []
+  |> List.sort (fun a b -> compare a.row_path b.row_path)
+
+let pp_summary ppf () =
+  let rows = summary_rows () in
+  if rows = [] then Format.fprintf ppf "(no spans recorded)@."
+  else begin
+    Format.fprintf ppf "%-44s %9s %12s %12s@." "span" "calls" "total" "self";
+    List.iter
+      (fun r ->
+        let depth = List.length r.row_path - 1 in
+        let name =
+          match List.rev r.row_path with n :: _ -> n | [] -> "?"
+        in
+        Format.fprintf ppf "%-44s %9d %11.3fs %11.3fs@."
+          (String.make (2 * depth) ' ' ^ name)
+          r.calls r.total_s r.self_s)
+      rows;
+    let d = dropped () in
+    if d > 0 then
+      Format.fprintf ppf "(+ %d spans dropped after the ring wrapped)@." d
+  end
+
+let summary_string () = Format.asprintf "%a" pp_summary ()

@@ -1,0 +1,92 @@
+(** Structured span tracing for the learner: scoped begin/end spans with
+    categories and key=value args, one track per domain, recorded into a
+    bounded in-memory ring buffer and exported as Chrome trace-event JSON
+    (loadable in [chrome://tracing] / Perfetto) or as a plain-text per-phase
+    summary tree.
+
+    The tracer is a process-wide singleton, disabled by default. A span site
+    on a disabled tracer costs exactly one atomic load — the learner's hot
+    paths (per-candidate evaluation, per-job pool lifecycle) are permanently
+    instrumented and pay nothing until someone passes [--trace]. Spans never
+    touch any RNG, so enabling the tracer cannot change a learned
+    definition.
+
+    Thread-model: spans nest per domain (a scoped [span] call always closes
+    in LIFO order on its own domain); the ring buffer is multi-producer.
+    {!export_json}/{!summary} read the buffer and should be called when the
+    traced work is quiescent (after pool jobs drained). *)
+
+(** [enable ?capacity ()] turns tracing on with a fresh buffer of at most
+    [capacity] spans (default [2^18]); once full, the ring wraps and the
+    oldest spans are overwritten ({!dropped} counts them). *)
+val enable : ?capacity:int -> unit -> unit
+
+(** [disable ()] turns tracing off and drops the buffer. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** [span ?args ~cat name f] runs [f ()] inside a span. On the disabled
+    tracer this is [f ()] after one atomic load. The span is recorded when
+    [f] returns {e or raises} (a {!Budget.Expired} unwinding through the
+    learner still closes every span on the way out). *)
+val span : ?args:(string * string) list -> cat:string -> string -> (unit -> 'a) -> 'a
+
+(** [arg key value] attaches [key=value] to the innermost open span of the
+    calling domain (no-op when disabled or outside any span) — for values
+    only known at the end of the work, e.g. memo hits observed during a
+    coverage pass. *)
+val arg : string -> string -> unit
+
+(** [time f] is a plain stopwatch — [(f (), elapsed-seconds)] on the
+    monotonized clock. Works with the tracer disabled; the bench harness
+    uses it instead of hand-rolled [Unix.gettimeofday] pairs. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** One recorded (completed) span. Timestamps are microseconds since
+    {!enable}; [track] is the runtime domain id that ran the span; [path]
+    is the names of the span's ancestors on its domain, outermost first,
+    ending with the span itself. *)
+type event = {
+  name : string;
+  cat : string;
+  track : int;
+  path : string list;
+  t_start_us : float;
+  t_end_us : float;
+  args : (string * string) list;
+}
+
+(** [events ()] is the buffer's completed spans, oldest first. *)
+val events : unit -> event list
+
+(** [dropped ()] — spans overwritten after the ring wrapped. *)
+val dropped : unit -> int
+
+(** [to_json ()] is the Chrome trace-event JSON object
+    ([{"traceEvents": [...], ...}]): balanced B/E duration events with
+    monotone timestamps per track, plus thread-name metadata per track. *)
+val to_json : unit -> Json.t
+
+(** [export_json path] writes {!to_json} to [path]. *)
+val export_json : string -> unit
+
+(** {1 Per-phase summary} *)
+
+(** Aggregation of spans by path: call count, cumulative wall-clock and
+    self time (cumulative minus the cumulative of direct children). *)
+type summary_row = {
+  row_path : string list;
+  calls : int;
+  total_s : float;
+  self_s : float;
+}
+
+(** [summary_rows ()] — rows sorted by path (parents before children). *)
+val summary_rows : unit -> summary_row list
+
+(** [pp_summary ppf ()] renders the summary tree: indented span names with
+    call counts, cumulative and self time. *)
+val pp_summary : Format.formatter -> unit -> unit
+
+val summary_string : unit -> string

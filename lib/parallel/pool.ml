@@ -8,30 +8,54 @@
     but never silently: drops are counted in an atomic, the first offender's
     backtrace is kept and logged, and {!stats} exposes the tally so a run
     can report nonzero worker-fault counters instead of quietly losing
-    domains. *)
+    domains.
+
+    Observability: each queued task carries its enqueue timestamp, so the
+    worker that dequeues it can attribute queue-wait vs. run time (the
+    [pool.queue_wait_s] / [pool.task_run_s] histograms), the current queue
+    depth is mirrored into the [pool.queue_depth] gauge, per-worker
+    dequeued-task counts are kept for the utilization view in {!stats}, and
+    each task runs inside an [Obs.Trace] span on its worker's own track —
+    one trace row per domain in Perfetto. All of it is atomics or
+    already-locked counter updates; a pool without tracing enabled pays one
+    atomic load per task for the span site. *)
 
 type fault = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+type task = { run : unit -> unit; enqueued_at : float }
 
 type t = {
   size : int;
   lock : Mutex.t;
   nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : task Queue.t;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   chaos : Fault.t option;
   tasks_run : int Atomic.t;
   dropped : int Atomic.t;
+  per_worker : int Atomic.t array;  (** jobs completed, by worker index *)
   mutable first_fault : fault option;  (** guarded by [lock] *)
 }
 
-type stats = { size : int; tasks_run : int; dropped : int }
+type stats = {
+  size : int;
+  tasks_run : int;
+  dropped : int;
+  queue_depth : int;
+  per_worker : int array;
+}
 
 let max_size = 128
 
 let default_size () = max 1 (Domain.recommended_domain_count () - 1)
 
 let clamp size = max 1 (min max_size size)
+
+let m_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
+let m_queue_wait = Obs.Metrics.histogram "pool.queue_wait_s"
+let m_task_run = Obs.Metrics.histogram "pool.task_run_s"
+let m_tasks = Obs.Metrics.counter "pool.tasks_run"
 
 let note_fault (t : t) e =
   let backtrace = Printexc.get_raw_backtrace () in
@@ -45,7 +69,7 @@ let note_fault (t : t) e =
         m "Parallel.Pool: worker dropped %s@.%s" (Printexc.to_string e)
           (Printexc.raw_backtrace_to_string backtrace))
 
-let worker_loop t () =
+let worker_loop t w () =
   let rec loop () =
     Mutex.lock t.lock;
     while Queue.is_empty t.queue && not t.stopping do
@@ -54,12 +78,30 @@ let worker_loop t () =
     if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.lock
     else begin
       let task = Queue.pop t.queue in
+      Obs.Metrics.gauge_set m_queue_depth (Queue.length t.queue);
       Mutex.unlock t.lock;
+      let dequeued_at = Budget.now () in
+      let wait = dequeued_at -. task.enqueued_at in
+      Obs.Metrics.observe m_queue_wait wait;
       Atomic.incr t.tasks_run;
-      (try
-         (match t.chaos with Some f -> Fault.tick f | None -> ());
-         task ()
-       with e -> note_fault t e);
+      (* counted at dequeue, like [tasks_run]: once a caller has observed a
+         batch complete (every task body returned), both tallies are final
+         and sum(per_worker) = tasks_run *)
+      Atomic.incr t.per_worker.(w);
+      Obs.Metrics.bump m_tasks;
+      Obs.Trace.span ~cat:"pool"
+        ~args:
+          [
+            ("worker", string_of_int w);
+            ("queue_wait_us", Printf.sprintf "%.1f" (wait *. 1e6));
+          ]
+        "pool_task"
+        (fun () ->
+          try
+            (match t.chaos with Some f -> Fault.tick f | None -> ());
+            task.run ()
+          with e -> note_fault t e);
+      Obs.Metrics.observe m_task_run (Budget.now () -. dequeued_at);
       loop ()
     end
   in
@@ -78,19 +120,25 @@ let create ?size ?chaos () =
       chaos;
       tasks_run = Atomic.make 0;
       dropped = Atomic.make 0;
+      per_worker = Array.init size (fun _ -> Atomic.make 0);
       first_fault = None;
     }
   in
-  t.workers <- List.init size (fun _ -> Domain.spawn (worker_loop t));
+  t.workers <- List.init size (fun w -> Domain.spawn (worker_loop t w));
   t
 
 let size (t : t) = t.size
 
 let stats (t : t) =
+  Mutex.lock t.lock;
+  let queue_depth = Queue.length t.queue in
+  Mutex.unlock t.lock;
   {
     size = t.size;
     tasks_run = Atomic.get t.tasks_run;
     dropped = Atomic.get t.dropped;
+    queue_depth;
+    per_worker = Array.map Atomic.get t.per_worker;
   }
 
 let first_fault t =
@@ -100,12 +148,14 @@ let first_fault t =
   f
 
 let submit t task =
+  let task = { run = task; enqueued_at = Budget.now () } in
   Mutex.lock t.lock;
   if t.stopping then begin
     Mutex.unlock t.lock;
     invalid_arg "Parallel.Pool.submit: pool is shut down"
   end;
   Queue.push task t.queue;
+  Obs.Metrics.gauge_set m_queue_depth (Queue.length t.queue);
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 

@@ -20,6 +20,10 @@ type stats = {
   size : int;  (** worker domains *)
   tasks_run : int;  (** tasks dequeued by workers so far *)
   dropped : int;  (** tasks whose exception the pool had to drop *)
+  queue_depth : int;  (** tasks currently waiting in the queue *)
+  per_worker : int array;
+      (** tasks dequeued per worker, by spawn index — the utilization view;
+          sums to [tasks_run] once submitted work has finished *)
 }
 
 (** [create ?size ?chaos ()] spawns [size] worker domains. [size] defaults

@@ -121,6 +121,11 @@ let stratified_sample ~rng ~rel ~pos ~known ~size ~constant_positions =
     constants) defines the strata for {!Stratified} and is ignored
     otherwise. *)
 let sample strategy ~rng ~rel ~pos ~known ~size ~constant_positions =
+  Obs.Trace.span ~cat:"sampling" "sample" @@ fun () ->
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.arg "strategy" (to_string strategy);
+    Obs.Trace.arg "relation" (Relation.name rel)
+  end;
   match strategy with
   | Naive -> naive_sample ~rng ~rel ~pos ~known ~size
   | Random -> random_sample ~rng ~rel ~pos ~known ~size ()

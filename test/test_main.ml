@@ -3,6 +3,7 @@ let () =
     [
       ("relational", Test_relational.suite);
       ("logic", Test_logic.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("bias", Test_bias.suite);
       ("discovery", Test_discovery.suite);

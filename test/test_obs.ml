@@ -1,0 +1,362 @@
+(* The observability layer (lib/obs): JSON round-trips, metrics registry
+   semantics — including snapshot monotonicity under concurrent bumps —
+   Chrome trace-event export well-formedness (balanced B/E events, monotone
+   timestamps per track), the per-phase summary, run reports, and the A/B
+   guarantee that enabling the tracer cannot change what the learner
+   learns. *)
+
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+
+(* The tracer and the metrics registry are process-wide singletons; every
+   test that touches them cleans up so the rest of the suite (and the other
+   suites) see the default disabled/zeroed state. *)
+let with_tracer ?capacity f =
+  Trace.enable ?capacity ();
+  Fun.protect ~finally:Trace.disable f
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let json_tests =
+  [
+    Alcotest.test_case "to_string/parse round-trip" `Quick (fun () ->
+        let j =
+          Json.Obj
+            [
+              ("a", Json.Int 42);
+              ("b", Json.Str "hi \"there\"\n");
+              ("c", Json.List [ Json.Bool true; Json.Null; Json.Int (-7) ]);
+              ("d", Json.Obj [ ("nested", Json.Str "") ]);
+            ]
+        in
+        match Json.parse (Json.to_string j) with
+        | Ok j' ->
+            Alcotest.(check bool) "round-trips" true (j = j')
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "floats survive parsing; non-finite emit null" `Quick
+      (fun () ->
+        (match Json.parse (Json.to_string (Json.Float 1.5)) with
+        | Ok (Json.Float f) -> Alcotest.(check (float 1e-9)) "1.5" 1.5 f
+        | _ -> Alcotest.fail "expected a float");
+        Alcotest.(check string) "nan is null" "null"
+          (Json.to_string (Json.Float Float.nan)));
+    Alcotest.test_case "parse rejects trailing garbage" `Quick (fun () ->
+        match Json.parse "{\"a\": 1} x" with
+        | Ok _ -> Alcotest.fail "should reject"
+        | Error _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "counters, gauges and histograms snapshot" `Quick
+      (fun () ->
+        Metrics.reset ();
+        let c = Metrics.counter "test.counter" in
+        let g = Metrics.gauge "test.gauge" in
+        let h = Metrics.histogram "test.histogram" in
+        Metrics.bump c;
+        Metrics.add c 4;
+        Metrics.gauge_set g 7;
+        Metrics.gauge_add g (-3);
+        List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.1 ];
+        let s = Metrics.snapshot () in
+        Alcotest.(check int) "counter" 5 (List.assoc "test.counter" s.Metrics.counters);
+        Alcotest.(check int) "gauge" 4 (List.assoc "test.gauge" s.Metrics.gauges);
+        let hs = List.assoc "test.histogram" s.Metrics.histograms in
+        Alcotest.(check int) "count" 4 hs.Metrics.count;
+        Alcotest.(check (float 1e-9)) "sum" 0.107 hs.Metrics.sum;
+        Alcotest.(check (float 1e-9)) "max" 0.1 hs.Metrics.max;
+        (* percentile estimates are bucket upper bounds: ordered, and the
+           p99 bucket must contain the true maximum *)
+        Alcotest.(check bool) "p50 <= p95" true (hs.Metrics.p50 <= hs.Metrics.p95);
+        Alcotest.(check bool) "p95 <= p99" true (hs.Metrics.p95 <= hs.Metrics.p99);
+        Alcotest.(check bool) "p99 covers max" true (hs.Metrics.p99 >= 0.1);
+        Alcotest.(check bool) "p50 above its value" true (hs.Metrics.p50 >= 0.002);
+        Metrics.reset ();
+        let s = Metrics.snapshot () in
+        Alcotest.(check int) "reset" 0 (List.assoc "test.counter" s.Metrics.counters));
+    Alcotest.test_case "registration is idempotent by name" `Quick (fun () ->
+        Metrics.reset ();
+        let a = Metrics.counter "test.same" in
+        let b = Metrics.counter "test.same" in
+        Metrics.bump a;
+        Metrics.bump b;
+        Alcotest.(check int) "one cell" 2 (Metrics.counter_value a));
+    (* The concurrency property behind the whole registry: counters only
+       move up, so any snapshot taken while writers are live must be
+       pointwise <= any later snapshot — no torn or rolled-back reads. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"snapshots are monotone across concurrent bumps"
+         ~count:20
+         QCheck.(pair (int_bound 500) (int_bound 3))
+         (fun (bumps, extra_domains) ->
+           Metrics.reset ();
+           let c = Metrics.counter "test.mono" in
+           let writers =
+             List.init (1 + extra_domains) (fun _ ->
+                 Domain.spawn (fun () ->
+                     for _ = 1 to bumps do
+                       Metrics.bump c
+                     done))
+           in
+           (* interleave snapshot reads with the live writers *)
+           let snaps = List.init 5 (fun _ -> Metrics.snapshot ()) in
+           List.iter Domain.join writers;
+           let final = Metrics.snapshot () in
+           let rec chain = function
+             | a :: (b :: _ as tl) -> Metrics.counters_leq a b && chain tl
+             | [ last ] -> Metrics.counters_leq last final
+             | [] -> true
+           in
+           chain snaps
+           && List.assoc "test.mono" final.Metrics.counters
+              = (1 + extra_domains) * bumps));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk exported traceEvents: per tid, B/E must balance like parentheses
+   (matching names) and timestamps must never decrease. Returns the number
+   of B events checked. *)
+let check_trace_json json =
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let str j = match j with Some (Json.Str s) -> s | _ -> "?" in
+  let num = function
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> Alcotest.fail "missing number"
+  in
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks tid s;
+        s
+  in
+  let begins = ref 0 in
+  List.iter
+    (fun ev ->
+      match str (Json.member "ph" ev) with
+      | "M" -> ()
+      | ("B" | "E") as ph ->
+          let tid =
+            match Json.member "tid" ev with
+            | Some (Json.Int i) -> i
+            | _ -> Alcotest.fail "missing tid"
+          in
+          let ts = num (Json.member "ts" ev) in
+          (match Hashtbl.find_opt last_ts tid with
+          | Some prev when ts < prev ->
+              Alcotest.failf "timestamps went backwards on track %d" tid
+          | _ -> ());
+          Hashtbl.replace last_ts tid ts;
+          let name = str (Json.member "name" ev) in
+          let s = stack tid in
+          if ph = "B" then begin
+            incr begins;
+            s := name :: !s
+          end
+          else begin
+            match !s with
+            | top :: rest when top = name -> s := rest
+            | top :: _ ->
+                Alcotest.failf "E %s closes open span %s on track %d" name top
+                  tid
+            | [] -> Alcotest.failf "E %s with empty stack on track %d" name tid
+          end
+      | ph -> Alcotest.failf "unexpected event phase %s" ph)
+    events;
+  Hashtbl.iter
+    (fun tid s ->
+      if !s <> [] then Alcotest.failf "unclosed spans on track %d" tid)
+    stacks;
+  !begins
+
+let trace_tests =
+  [
+    Alcotest.test_case "spans record nesting, args and timing" `Quick
+      (fun () ->
+        with_tracer (fun () ->
+            Trace.span ~cat:"t" "outer" (fun () ->
+                Trace.span ~args:[ ("k", "v") ] ~cat:"t" "inner" (fun () ->
+                    Trace.arg "late" "yes"));
+            let evs = Trace.events () in
+            Alcotest.(check int) "two spans" 2 (List.length evs);
+            let inner = List.hd evs in
+            (* inner closes first, so it is recorded first *)
+            Alcotest.(check string) "name" "inner" inner.Trace.name;
+            Alcotest.(check (list string)) "path" [ "outer"; "inner" ]
+              inner.Trace.path;
+            Alcotest.(check (list (pair string string))) "args"
+              [ ("k", "v"); ("late", "yes") ]
+              inner.Trace.args;
+            Alcotest.(check bool) "duration >= 0" true
+              (inner.Trace.t_end_us >= inner.Trace.t_start_us)));
+    Alcotest.test_case "disabled tracer records nothing and passes through"
+      `Quick (fun () ->
+        Trace.disable ();
+        let r = Trace.span ~cat:"t" "ghost" (fun () -> 41 + 1) in
+        Alcotest.(check int) "result" 42 r;
+        Alcotest.(check int) "no events" 0 (List.length (Trace.events ())));
+    Alcotest.test_case "span closes on exceptions" `Quick (fun () ->
+        with_tracer (fun () ->
+            (try Trace.span ~cat:"t" "boom" (fun () -> failwith "x")
+             with Failure _ -> ());
+            Alcotest.(check int) "recorded anyway" 1
+              (List.length (Trace.events ()))));
+    Alcotest.test_case "export: balanced B/E, monotone ts, multi-domain"
+      `Quick (fun () ->
+        with_tracer (fun () ->
+            Trace.span ~cat:"t" "main_outer" (fun () ->
+                Trace.span ~cat:"t" "main_inner" (fun () -> ()));
+            let workers =
+              List.init 3 (fun w ->
+                  Domain.spawn (fun () ->
+                      for i = 0 to 9 do
+                        Trace.span
+                          ~args:[ ("w", string_of_int w) ]
+                          ~cat:"t"
+                          ("job_" ^ string_of_int (i mod 3))
+                          (fun () -> ignore (Sys.opaque_identity (i * i)))
+                      done))
+            in
+            List.iter Domain.join workers;
+            let begins = check_trace_json (Trace.to_json ()) in
+            Alcotest.(check int) "all spans exported" 32 begins));
+    Alcotest.test_case "ring wraps, counts drops, stays well-formed" `Quick
+      (fun () ->
+        with_tracer ~capacity:4 (fun () ->
+            for i = 1 to 10 do
+              Trace.span ~cat:"t" ("s" ^ string_of_int i) (fun () -> ())
+            done;
+            Alcotest.(check int) "kept" 4 (List.length (Trace.events ()));
+            Alcotest.(check int) "dropped" 6 (Trace.dropped ());
+            ignore (check_trace_json (Trace.to_json ()))));
+    Alcotest.test_case "summary aggregates calls and self <= total" `Quick
+      (fun () ->
+        with_tracer (fun () ->
+            for _ = 1 to 3 do
+              Trace.span ~cat:"t" "parent" (fun () ->
+                  Trace.span ~cat:"t" "child" (fun () -> ()))
+            done;
+            let rows = Trace.summary_rows () in
+            let row path = List.find (fun r -> r.Trace.row_path = path) rows in
+            let parent = row [ "parent" ] and child = row [ "parent"; "child" ] in
+            Alcotest.(check int) "parent calls" 3 parent.Trace.calls;
+            Alcotest.(check int) "child calls" 3 child.Trace.calls;
+            Alcotest.(check bool) "self <= total" true
+              (parent.Trace.self_s <= parent.Trace.total_s);
+            Alcotest.(check bool) "parent total covers child" true
+              (parent.Trace.total_s >= child.Trace.total_s)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracing cannot change results (the --trace off/on A/B guarantee)   *)
+(* ------------------------------------------------------------------ *)
+
+let determinism_tests =
+  [
+    Alcotest.test_case "learn is bit-identical with tracing off and on" `Slow
+      (fun () ->
+        let learn () =
+          let d = Datasets.Uw.generate ~seed:7 ~scale:0.3 () in
+          let rng = Random.State.make [| 7 |] in
+          let cov =
+            Learning.Coverage.create d.Datasets.Dataset.db
+              d.Datasets.Dataset.manual_bias ~rng
+          in
+          let r =
+            Learning.Learn.learn
+              ~config:{ Learning.Learn.default_config with timeout = Some 60. }
+              cov ~rng ~positives:d.Datasets.Dataset.positives
+              ~negatives:d.Datasets.Dataset.negatives
+          in
+          Logic.Clause.definition_to_string r.Learning.Learn.definition
+        in
+        let off = learn () in
+        let on = with_tracer learn in
+        Alcotest.(check string) "identical definition" off on;
+        Alcotest.(check bool) "nonempty" true (off <> ""));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Run reports and the Budget counter export                          *)
+(* ------------------------------------------------------------------ *)
+
+let report_tests =
+  [
+    Alcotest.test_case "Budget.counters_to_assoc names every counter" `Quick
+      (fun () ->
+        let b = Budget.create () in
+        Budget.hit b Budget.Subsumption_try;
+        Budget.hit b Budget.Subsumption_try;
+        Budget.hit b Budget.Coverage_memo_hit;
+        let assoc = Budget.counters_to_assoc (Budget.counters b) in
+        Alcotest.(check int) "tries" 2 (List.assoc "subsumption_tries" assoc);
+        Alcotest.(check int) "hits" 1
+          (List.assoc "coverage_memo_hits" assoc);
+        Alcotest.(check int) "untouched present as zero" 0
+          (List.assoc "worker_faults" assoc));
+    Alcotest.test_case "pp_counters elides zero counters" `Quick (fun () ->
+        let b = Budget.create () in
+        Alcotest.(check string) "all zero" "no degradation events"
+          (Fmt.str "%a" Budget.pp_counters (Budget.counters b));
+        Budget.hit b Budget.Beam_cut;
+        let s = Fmt.str "%a" Budget.pp_counters (Budget.counters b) in
+        let contains needle =
+          let nl = String.length needle and hl = String.length s in
+          let rec go i =
+            i + nl <= hl && (String.sub s i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "names the hit counter" true
+          (contains "beam_rounds_cut 1");
+        Alcotest.(check bool) "elides the zero ones" false
+          (contains "subsumption_tries"));
+    Alcotest.test_case "run report serializes to parseable JSON" `Quick
+      (fun () ->
+        Metrics.reset ();
+        Metrics.bump (Metrics.counter "test.report");
+        let b = Budget.create () in
+        Budget.hit b Budget.Coverage_memo_miss;
+        let report =
+          Obs.Run_report.make ~name:"unit"
+            ~config:[ ("seed", Json.Int 42) ]
+            ~degradation:(Budget.degradation b) ()
+        in
+        let rendered = Json.to_string (Obs.Run_report.to_json report) in
+        match Json.parse rendered with
+        | Error e -> Alcotest.fail e
+        | Ok j ->
+            Alcotest.(check bool) "has metrics" true
+              (Json.member "metrics" j <> None);
+            (match Json.member "degradation" j with
+            | Some d ->
+                let counters = Json.member "counters" d in
+                Alcotest.(check bool) "memo miss exported" true
+                  (match Option.bind counters (Json.member "coverage_memo_misses") with
+                  | Some (Json.Int 1) -> true
+                  | _ -> false)
+            | None -> Alcotest.fail "no degradation");
+            Metrics.reset ());
+  ]
+
+let suite =
+  json_tests @ metrics_tests @ trace_tests @ determinism_tests @ report_tests

@@ -79,6 +79,24 @@ let pool_tests =
         Alcotest.check_raises "raises"
           (Invalid_argument "Parallel.Pool.submit: pool is shut down")
           (fun () -> Pool.submit p (fun () -> ())));
+    Alcotest.test_case "stats: queue drains and per-worker tallies add up"
+      `Quick (fun () ->
+        (* A private pool (the shared one keeps serving later tests, so its
+           counters would be a moving target), shut down before reading:
+           the caller's domain helps Par combinators with items, so queued
+           tasks can outlive the map as no-ops — only after [shutdown]
+           joins the workers are the queue and every tally final. *)
+        let p = Pool.create ~size:2 () in
+        ignore (Par.parallel_map ~pool:p (fun x -> x + 1) (List.init 64 Fun.id));
+        Pool.shutdown p;
+        let s = Pool.stats p in
+        Alcotest.(check int) "queue drained" 0 s.Pool.queue_depth;
+        Alcotest.(check int) "one tally per worker" 2
+          (Array.length s.Pool.per_worker);
+        (* utilization is conserved: per-worker dequeue tallies must sum to
+           the pool-wide dequeue counter *)
+        Alcotest.(check int) "per-worker sums to tasks_run" s.Pool.tasks_run
+          (Array.fold_left ( + ) 0 s.Pool.per_worker));
   ]
 
 let qcheck_tests =

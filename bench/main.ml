@@ -582,12 +582,12 @@ let coverage_bench () =
   hr ();
   let d = generate "uw" in
   let positives = d.Dataset.positives and negatives = d.Dataset.negatives in
-  let run ?pool use_cache =
+  let run ?pool ?(use_compiled = true) use_cache =
     let b = Budget.create () in
     let rng = Random.State.make [| options.seed; 3 |] in
     let cov =
-      Learning.Coverage.create ~use_cache d.Dataset.db d.Dataset.manual_bias
-        ~rng
+      Learning.Coverage.create ~use_cache ~use_compiled d.Dataset.db
+        d.Dataset.manual_bias ~rng
     in
     let config =
       { Learning.Learn.default_config with
@@ -647,7 +647,128 @@ let coverage_bench () =
       ("uw.inherited", Bench_json.I cc.Budget.coverage_inherited);
       ("uw.clauses", Bench_json.I (List.length rc.Learning.Learn.definition));
       ("uw.identical_on_vs_off", Bench_json.B identical);
-      ("uw.identical_pool1", Bench_json.B identical_pool) ]
+      ("uw.identical_pool1", Bench_json.B identical_pool) ];
+  (* ---- Compiled evaluation A/B (the clause-compilation layer) ---- *)
+  hr ();
+  Fmt.pr "Coverage — compiled evaluation A/B (int-coded kernel vs symbolic)@.";
+  hr ();
+  (* Full-learner A/B first: same fixed seed, kernel on vs off; definitions
+     must be bit-identical, sequentially and under a 1-domain pool. *)
+  let rs, ts, cs, _ = run ~use_compiled:false true in
+  let compiled_identical =
+    render rc.Learning.Learn.definition = render rs.Learning.Learn.definition
+  in
+  let compiled_identical_pool =
+    render rs.Learning.Learn.definition = render rp.Learning.Learn.definition
+  in
+  Fmt.pr "compiled : %8.3fs  %7d subsumption tries@." tc
+    cc.Budget.subsumption_tries;
+  Fmt.pr "symbolic : %8.3fs  %7d subsumption tries@." ts
+    cs.Budget.subsumption_tries;
+  Fmt.pr "learner wall speedup %.2fx; definitions identical: %s (sequential) \
+          / %s (1-domain pool)@."
+    (ts /. tc)
+    (if compiled_identical then "YES" else "NO -- DETERMINISM BUG")
+    (if compiled_identical_pool then "YES" else "NO -- DETERMINISM BUG");
+  (* Per-eval latency distribution: one beam-step-shaped workload (bottom
+     clauses plus ARMG generalization chains), every (clause, example) pair
+     timed individually on fresh UNCACHED contexts so each sample is a real
+     evaluation, not a memo probe. Exact percentiles from the sorted
+     arrays — the process-wide Obs histogram (coverage.eval_s) is
+     log-bucketed and shared between the two passes, so it cannot give an
+     honest A/B. *)
+  let mk_uncached use_compiled =
+    Learning.Coverage.create ~use_cache:false ~use_compiled d.Dataset.db
+      d.Dataset.manual_bias
+      ~rng:(Random.State.make [| options.seed; 3 |])
+  in
+  let examples = positives @ negatives in
+  let candidates =
+    let cov = mk_uncached true in
+    let rng = Random.State.make [| options.seed; 11 |] in
+    let acc = ref [] in
+    List.iter
+      (fun seed ->
+        let c =
+          ref (Learning.Bottom_clause.build d.Dataset.db d.Dataset.manual_bias
+                 ~rng ~example:seed)
+        in
+        acc := !c :: !acc;
+        List.iteri
+          (fun i e ->
+            if i mod 3 = 0 then
+              match Learning.Armg.generalize cov !c ~example:e with
+              | Some c' ->
+                  c := c';
+                  acc := c' :: !acc
+              | None -> ())
+          positives)
+      (Logic.Util.take 4 positives);
+    !acc
+  in
+  let time_evals cov =
+    Learning.Coverage.warm cov examples;
+    let ts = ref [] and verdicts = ref [] in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun e ->
+            (* min of 2 back-to-back runs per pair: drops timer noise
+               without letting the memo answer (the context is uncached) *)
+            let t0 = Unix.gettimeofday () in
+            let v = Learning.Coverage.eval cov c e in
+            let t1 = Unix.gettimeofday () in
+            let v' = Learning.Coverage.eval cov c e in
+            let t2 = Unix.gettimeofday () in
+            ignore v';
+            ts := Float.min (t1 -. t0) (t2 -. t1) :: !ts;
+            verdicts := v :: !verdicts)
+          examples)
+      candidates;
+    let a = Array.of_list !ts in
+    Array.sort compare a;
+    (a, !verdicts)
+  in
+  let pct a q =
+    let n = Array.length a in
+    if n = 0 then 0. else a.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let a_c, v_c = time_evals (mk_uncached true) in
+  let a_s, v_s = time_evals (mk_uncached false) in
+  let verdicts_agree =
+    List.for_all2
+      (fun x y ->
+        match (x, y) with
+        | Logic.Subsumption.Covered w1, Logic.Subsumption.Covered w2 ->
+            Logic.Substitution.compare w1 w2 = 0
+        | Logic.Subsumption.Blocked i, Logic.Subsumption.Blocked j -> i = j
+        | _ -> false)
+      v_c v_s
+  in
+  let p50_c = pct a_c 0.50 and p95_c = pct a_c 0.95 in
+  let p50_s = pct a_s 0.50 and p95_s = pct a_s 0.95 in
+  Fmt.pr "per-eval latency over %d evaluations (%d candidates x %d examples):@."
+    (Array.length a_c) (List.length candidates) (List.length examples);
+  Fmt.pr "compiled : p50 %8.1fus  p95 %8.1fus@." (1e6 *. p50_c) (1e6 *. p95_c);
+  Fmt.pr "symbolic : p50 %8.1fus  p95 %8.1fus@." (1e6 *. p50_s) (1e6 *. p95_s);
+  Fmt.pr "speedup  : p50 %7.2fx   p95 %7.2fx; verdicts agree on every pair: %s@."
+    (p50_s /. Float.max p50_c 1e-9)
+    (p95_s /. Float.max p95_c 1e-9)
+    (if verdicts_agree then "YES" else "NO -- SOUNDNESS BUG");
+  Bench_json.record "coverage"
+    [ ("uw.compiled_s", Bench_json.F tc);
+      ("uw.symbolic_s", Bench_json.F ts);
+      ("uw.compiled_wall_speedup", Bench_json.F (ts /. tc));
+      ("uw.compiled_identical_on_vs_off", Bench_json.B compiled_identical);
+      ("uw.compiled_identical_pool1", Bench_json.B compiled_identical_pool);
+      ("uw.compiled_verdicts_agree", Bench_json.B verdicts_agree);
+      ("uw.eval_count", Bench_json.I (Array.length a_c));
+      ("uw.eval_p50_compiled_s", Bench_json.F p50_c);
+      ("uw.eval_p95_compiled_s", Bench_json.F p95_c);
+      ("uw.eval_p50_symbolic_s", Bench_json.F p50_s);
+      ("uw.eval_p95_symbolic_s", Bench_json.F p95_s);
+      ("uw.eval_p50_speedup", Bench_json.F (p50_s /. Float.max p50_c 1e-9));
+      ("uw.eval_p95_speedup", Bench_json.F (p95_s /. Float.max p95_c 1e-9)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Scaling: the beam-evaluation workload across domain-pool sizes.    *)

@@ -68,12 +68,14 @@ let chaos_arg =
   in
   Arg.(value & opt (some float) None & info [ "chaos" ] ~docv:"P" ~doc)
 
-let config ?(coverage_cache = true) ~strategy ~timeout () =
+let config ?(coverage_cache = true) ?(compiled_eval = true) ~strategy ~timeout
+    () =
   {
     Autobias.default_config with
     strategy = Sampling.Strategy.of_string strategy;
     timeout = Some timeout;
     coverage_cache;
+    compiled_eval;
   }
 
 let trace_arg =
@@ -129,6 +131,16 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-coverage-cache" ] ~doc)
 
+let no_compiled_arg =
+  let doc =
+    "Fall back to the symbolic frontier evaluator instead of the int-coded \
+     compiled kernel (escape hatch / A/B baseline). The compiled engine is \
+     bit-identical — same verdicts, witnesses and truncation accounting — \
+     so the learned definition does not change; only the evaluation speed \
+     does."
+  in
+  Arg.(value & flag & info [ "no-compiled-eval" ] ~doc)
+
 (* Build the budget / pool a command asked for and pass them down; the pool
    is shut down (domains joined) before returning, also on exceptions. *)
 let with_resources ~seed ~deadline ~domains ~chaos k =
@@ -170,7 +182,7 @@ let load_definition path =
 
 let learn_cmd =
   let run dataset_name method_name strategy scale seed timeout deadline domains
-      chaos no_cache cv show_bias output trace metrics =
+      chaos no_cache no_compiled cv show_bias output trace metrics =
     let dataset = dataset_of_name ~scale ~seed dataset_name in
     let method_ = Autobias.method_of_string method_name in
     let report_config =
@@ -192,8 +204,9 @@ let learn_cmd =
     @@ fun ~note_degradation ->
     with_resources ~seed ~deadline ~domains ~chaos @@ fun ~budget pool ->
     let config =
-      { (config ~coverage_cache:(not no_cache) ~strategy ~timeout ()) with
-        budget; pool }
+      { (config ~coverage_cache:(not no_cache) ~compiled_eval:(not no_compiled)
+           ~strategy ~timeout ())
+        with budget; pool }
     in
     Fmt.pr "%a" Datasets.Dataset.summary dataset;
     if cv then begin
@@ -259,7 +272,8 @@ let learn_cmd =
     Term.(
       const run $ dataset_arg $ method_arg $ strategy_arg $ scale_arg $ seed_arg
       $ timeout_arg $ deadline_arg $ domains_arg $ chaos_arg $ no_cache_arg
-      $ cv_arg $ show_bias_arg $ output_arg $ trace_arg $ metrics_arg)
+      $ no_compiled_arg $ cv_arg $ show_bias_arg $ output_arg $ trace_arg
+      $ metrics_arg)
 
 (* ---------------- bias ---------------- *)
 

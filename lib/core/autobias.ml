@@ -58,6 +58,10 @@ type config = {
       (** memoize coverage verdicts in the scoring context (default [true]);
           verdicts are pure, so results are identical either way —
           [false] ([--no-coverage-cache]) exists for A/B measurement *)
+  compiled_eval : bool;
+      (** evaluate coverage through the int-coded compiled kernel (default
+          [true]); bit-identical to the symbolic frontier engine —
+          [false] ([--no-compiled-eval]) is the escape hatch / A/B baseline *)
   budget : Budget.t option;
       (** run governance: cancelling it stops any learning entry point
           cooperatively; its counters aggregate across folds. Each run still
@@ -86,6 +90,7 @@ let default_config =
     use_approximate_inds = true;
     subsumption = Logic.Subsumption.default_config;
     coverage_cache = true;
+    compiled_eval = true;
     budget = None;
     pool = None;
   }
@@ -168,7 +173,7 @@ let foil_config config =
 let coverage_context config (dataset : Datasets.Dataset.t) bias ~rng =
   Learning.Coverage.create ~sub_config:config.subsumption
     ~bc_config:(bc_config config) ~use_cache:config.coverage_cache
-    dataset.Datasets.Dataset.db bias ~rng
+    ~use_compiled:config.compiled_eval dataset.Datasets.Dataset.db bias ~rng
 
 type run_result = {
   definition : Logic.Clause.definition;

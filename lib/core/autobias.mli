@@ -39,6 +39,10 @@ type config = {
       (** memoize coverage verdicts (default [true]); verdicts are pure, so
           learned definitions are identical either way — [false] exists for
           A/B measurement ([--no-coverage-cache]) *)
+  compiled_eval : bool;
+      (** evaluate coverage through the int-coded compiled kernel (default
+          [true]); bit-identical to the symbolic engine — [false]
+          ([--no-compiled-eval]) is the escape hatch / A/B baseline *)
   budget : Budget.t option;
       (** run governance (deadline + cancellation + degradation counters):
           cancelling it stops any learning entry point cooperatively; each

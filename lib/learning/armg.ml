@@ -27,11 +27,16 @@ let generalize cov clause ~example =
       (* One sweep: removing a blocking atom leaves the frontier of the
          surviving prefix unchanged, so the sweep simply carries it on to
          the next literal. *)
-      let frontier = ref [ subst ] in
+      let frontier = ref [ subst ] and frontier_n = ref 1 in
       for i = 0 to n - 1 do
-        match Logic.Subsumption.step_frontier g !frontier body.(i) with
-        | [] -> kept.(i) <- false
-        | next -> frontier := next
+        match
+          Logic.Subsumption.step_frontier_n g !frontier
+            ~frontier_n:!frontier_n body.(i)
+        with
+        | [], _ -> kept.(i) <- false
+        | next, next_n ->
+            frontier := next;
+            frontier_n := next_n
       done;
       let surviving =
         Array.to_list body

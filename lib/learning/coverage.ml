@@ -33,8 +33,9 @@ let m_ground_bcs = Obs.Metrics.counter "coverage.ground_bcs_built"
    Coverage verdicts are pure: [eval] is a function of (clause, ground BC)
    and the ground BC of an example is a pure function of (master seed,
    example). The memo therefore caches verdicts keyed by (clause key,
-   example) — the clause key is the printed clause, which is injective on
-   the clauses the learner builds (ARMG and reduction never rename
+   example) — the clause key is the compiled plan's canonical int-id array
+   (or the printed clause under [--no-compiled-eval]); both are injective
+   on the clauses the learner builds (ARMG and reduction never rename
    variables) — and a cached verdict is bit-identical to a recomputed one,
    so enabling the cache cannot change any learned definition.
 
@@ -50,9 +51,18 @@ let m_ground_bcs = Obs.Metrics.counter "coverage.ground_bcs_built"
 let memo_stripes = 16
 let memo_stripe_cap = 1 lsl 14  (** per stripe; ~256k entries in total *)
 
+(* The memo key: the compiled path keys by the plan's canonical int-id
+   array (injective exactly where the printed clause is, with no printing
+   per test); the symbolic escape hatch keeps the printed key. Both are
+   injective on learner clauses, so the two modes see identical hit/miss
+   traffic — the parity the cache A/B test asserts. *)
+type memo_key =
+  | K_ids of int array  (** compiled: canonical plan key *)
+  | K_str of string  (** symbolic: printed clause *)
+
 type memo = {
   tables :
-    (string * Relational.Relation.tuple, Logic.Subsumption.verdict) Hashtbl.t
+    (memo_key * Relational.Relation.tuple, Logic.Subsumption.verdict) Hashtbl.t
     array;
   locks : Mutex.t array;
   hits : int Atomic.t;
@@ -61,23 +71,35 @@ type memo = {
 
 type cache_stats = { hits : int; misses : int; entries : int }
 
+(* Both representations of a ground BC are built together (outside the
+   cache lock, like the symbolic one always was): the compiled form drives
+   coverage, the symbolic form stays authoritative for ARMG's frontier
+   sweep and the [ground_of] API. *)
+type ground_entry = {
+  sym : Logic.Subsumption.ground;
+  comp : Logic.Compiled.ground option;  (** [Some] iff compiled eval is on *)
+}
+
 type t = {
   db : Relational.Database.t;
   bias : Bias.Language.t;
   bc_config : Bottom_clause.config;
   sub_config : Logic.Subsumption.config;
   seed_base : int;  (** master seed for per-example ground-BC RNGs *)
-  grounds : (Relational.Relation.tuple, Logic.Subsumption.ground) Hashtbl.t;
+  grounds : (Relational.Relation.tuple, ground_entry) Hashtbl.t;
   lock : Mutex.t;  (** guards [grounds] *)
   memo : memo option;  (** [None] = caching disabled ([--no-coverage-cache]) *)
+  compiled : Eval_plan.t option;
+      (** [None] = symbolic evaluation ([--no-compiled-eval]); the compiled
+          engine is bit-identical, so the switch never changes results *)
   budget : Budget.t option;
       (** sink for degradation counters (frontier truncations, memo
           hits/misses); never changes any coverage verdict *)
 }
 
 let create ?(sub_config = Logic.Subsumption.default_config)
-    ?(bc_config = Bottom_clause.default_config) ?budget ?(use_cache = true) db
-    bias ~rng =
+    ?(bc_config = Bottom_clause.default_config) ?budget ?(use_cache = true)
+    ?(use_compiled = true) db bias ~rng =
   {
     db;
     bias;
@@ -96,10 +118,12 @@ let create ?(sub_config = Logic.Subsumption.default_config)
              misses = Atomic.make 0;
            }
        else None);
+    compiled = (if use_compiled then Some (Eval_plan.create ()) else None);
     budget;
   }
 
 let cache_enabled t = t.memo <> None
+let compiled_enabled t = t.compiled <> None
 
 let cache_stats t =
   match t.memo with
@@ -135,8 +159,7 @@ let example_hash (example : Relational.Relation.tuple) =
 let example_rng t example =
   Random.State.make [| t.seed_base; example_hash example |]
 
-(** [ground_of t example] is the cached ground bottom clause of [example]. *)
-let ground_of t example =
+let ground_entry_of t example =
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.grounds example with
   | Some g ->
@@ -151,7 +174,16 @@ let ground_of t example =
               Bottom_clause.build_ground ~config:t.bc_config t.db t.bias
                 ~rng:(example_rng t example) ~example
             in
-            Logic.Subsumption.ground_of_literals (Logic.Clause.body clause))
+            let body = Logic.Clause.body clause in
+            {
+              sym = Logic.Subsumption.ground_of_literals body;
+              comp =
+                Option.map
+                  (fun ep ->
+                    Logic.Compiled.compile_ground (Eval_plan.symtab ep)
+                      ~example body)
+                  t.compiled;
+            })
       in
       Mutex.lock t.lock;
       let g =
@@ -163,6 +195,9 @@ let ground_of t example =
       in
       Mutex.unlock t.lock;
       g
+
+(** [ground_of t example] is the cached ground bottom clause of [example]. *)
+let ground_of t example = (ground_entry_of t example).sym
 
 (* Batch entry points run inside a span carrying the batch size and the memo
    traffic the batch generated (hit/miss deltas read from the memo's own
@@ -222,11 +257,18 @@ let eval_uncached t clause example =
   Budget.hit_opt t.budget Budget.Subsumption_try;
   Obs.Metrics.bump m_tests;
   Obs.Metrics.time m_eval (fun () ->
+      (* The head check runs symbolically in both modes: it is tiny, and
+         keeping it ahead of [ground_entry_of] means a head-blocked example
+         never triggers a ground-BC build under either engine. *)
       match head_subst clause example with
       | None -> Logic.Subsumption.Blocked 0
-      | Some subst ->
-          let g = ground_of t example in
-          Logic.Subsumption.eval_prefix ?budget:t.budget ~subst clause g)
+      | Some subst -> (
+          let ge = ground_entry_of t example in
+          match (t.compiled, ge.comp) with
+          | Some ep, Some cg -> Eval_plan.eval ?budget:t.budget ep clause cg
+          | _ ->
+              Logic.Subsumption.eval_prefix ?budget:t.budget ~subst clause
+                ge.sym))
 
 (** [eval t clause example] evaluates [clause] against [example] with the
     substitution-set prefix evaluator: [Covered w] with a witness, or
@@ -238,7 +280,12 @@ let eval t clause example =
   match t.memo with
   | None -> eval_uncached t clause example
   | Some m -> (
-      let key = (Logic.Clause.to_string clause, example) in
+      let clause_key =
+        match t.compiled with
+        | Some ep -> K_ids (Eval_plan.key ep clause)
+        | None -> K_str (Logic.Clause.to_string clause)
+      in
+      let key = (clause_key, example) in
       let s = Hashtbl.hash key mod memo_stripes in
       let lock = m.locks.(s) and tbl = m.tables.(s) in
       Mutex.lock lock;

@@ -21,18 +21,23 @@ type cache_stats = { hits : int; misses : int; entries : int }
     (default [true]) enables the lock-striped verdict memo: verdicts are pure
     functions of (clause, example) given the captured seed, so caching is
     invisible to results — [false] exists for A/B measurement
-    ([--no-coverage-cache]). *)
+    ([--no-coverage-cache]). [?use_compiled] (default [true]) evaluates
+    through the int-coded compiled kernel ({!Logic.Compiled}), which is
+    bit-identical to the symbolic frontier engine — [false]
+    ([--no-compiled-eval]) is the escape hatch / A/B baseline. *)
 val create :
   ?sub_config:Logic.Subsumption.config ->
   ?bc_config:Bottom_clause.config ->
   ?budget:Budget.t ->
   ?use_cache:bool ->
+  ?use_compiled:bool ->
   Relational.Database.t ->
   Bias.Language.t ->
   rng:Random.State.t ->
   t
 
 val cache_enabled : t -> bool
+val compiled_enabled : t -> bool
 
 (** [cache_stats t] — a consistent-enough snapshot of the verdict memo. *)
 val cache_stats : t -> cache_stats

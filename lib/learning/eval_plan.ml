@@ -1,0 +1,87 @@
+(** Compiled-evaluation state for a coverage context: the symbol table, a
+    plan cache, and per-worker scratch arenas.
+
+    The learner re-tests the {e same physical clause} against many examples
+    (beam scoring, acceptance counting, reduction), so plans are cached by
+    physical identity — a hit costs one bounded structural hash and a
+    pointer comparison, never a clause traversal. Compilation is pure up to
+    interning, so the cache is transparently evictable: when full it is
+    simply cleared (clauses from finished beam rounds never come back).
+
+    Scratch arenas are per-domain via [Domain.DLS]: pool workers evaluate
+    concurrently, and sharing one arena would race; domain-local arenas
+    keep the pool path allocation-free and lock-free. *)
+
+let m_compile = Obs.Metrics.histogram "coverage.compile_s"
+let m_compiled = Obs.Metrics.counter "coverage.plans_compiled"
+
+(* Physical identity keys: [Hashtbl.hash] is structural but bounded (it
+   visits a limited number of nodes), so hashing a clause is O(1); equality
+   is pointer equality, so distinct-but-equal clauses simply occupy
+   distinct entries. *)
+module Clause_tbl = Hashtbl.Make (struct
+  type t = Logic.Clause.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let plan_cache_cap = 4096
+
+type t = {
+  symtab : Logic.Compiled.Symtab.t;
+  plans : Logic.Compiled.plan Clause_tbl.t;
+  lock : Mutex.t;  (** guards [plans] *)
+  scratch : Logic.Compiled.scratch Domain.DLS.key;
+}
+
+let create () =
+  {
+    symtab = Logic.Compiled.Symtab.create ();
+    plans = Clause_tbl.create 256;
+    lock = Mutex.create ();
+    scratch = Domain.DLS.new_key Logic.Compiled.make_scratch;
+  }
+
+let symtab t = t.symtab
+
+(** [plan_for t clause] — the compiled plan for [clause], compiling and
+    caching on first sight of this physical clause. *)
+let plan_for t clause =
+  Mutex.lock t.lock;
+  match Clause_tbl.find_opt t.plans clause with
+  | Some p ->
+      Mutex.unlock t.lock;
+      p
+  | None ->
+      Mutex.unlock t.lock;
+      let p =
+        Obs.Metrics.time m_compile (fun () ->
+            Obs.Metrics.bump m_compiled;
+            Logic.Compiled.compile t.symtab clause)
+      in
+      Mutex.lock t.lock;
+      (* Racing duplicate compiles insert interchangeable plans; keep the
+         first so concurrent callers converge on one physical plan. *)
+      let p =
+        match Clause_tbl.find_opt t.plans clause with
+        | Some p' -> p'
+        | None ->
+            if Clause_tbl.length t.plans >= plan_cache_cap then
+              Clause_tbl.reset t.plans;
+            Clause_tbl.add t.plans clause p;
+            p
+      in
+      Mutex.unlock t.lock;
+      p
+
+(** [key t clause] — the canonical int-id memo key of [clause]. *)
+let key t clause = Logic.Compiled.key (plan_for t clause)
+
+(** [eval ?cap ?budget t clause g] — compiled evaluation of [clause]
+    against compiled ground [g], on this domain's scratch arena.
+    Bit-identical to [Subsumption.eval_prefix] from the head substitution
+    ([Blocked 0] when the head cannot bind [g]'s example). *)
+let eval ?cap ?budget t clause g =
+  let scratch = Domain.DLS.get t.scratch in
+  Logic.Compiled.eval ?cap ?budget scratch t.symtab (plan_for t clause) g

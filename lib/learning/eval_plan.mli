@@ -1,0 +1,27 @@
+(** Compiled-evaluation state for a coverage context: symbol table, plan
+    cache (keyed by physical clause identity), and per-domain scratch
+    arenas. Safe to share across pool workers. *)
+
+type t
+
+val create : unit -> t
+val symtab : t -> Logic.Compiled.Symtab.t
+
+(** [plan_for t clause] — the cached (or freshly compiled) plan for this
+    physical clause. Compilation time lands in the [coverage.compile_s]
+    histogram. *)
+val plan_for : t -> Logic.Clause.t -> Logic.Compiled.plan
+
+(** [key t clause] — the canonical int-id memo key of [clause]: injective
+    exactly where [Clause.to_string] is, with no printing. *)
+val key : t -> Logic.Clause.t -> int array
+
+(** [eval ?cap ?budget t clause g] — compiled evaluation on this domain's
+    scratch arena; bit-identical to [Subsumption.eval_prefix]. *)
+val eval :
+  ?cap:int ->
+  ?budget:Budget.t ->
+  t ->
+  Logic.Clause.t ->
+  Logic.Compiled.ground ->
+  Logic.Subsumption.verdict

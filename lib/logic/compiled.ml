@@ -1,0 +1,553 @@
+(** Clause compilation: an int-coded θ-subsumption kernel for the coverage
+    hot path.
+
+    The symbolic frontier evaluator ({!Subsumption.eval_prefix}) re-walks
+    [Literal.t]/[Term.t] structures through string-keyed hashtables and
+    allocates substitution maps on every extension. Coverage testing runs it
+    millions of times over the same ground bottom clauses, so this module
+    compiles both sides of the test once:
+
+    - predicate symbols and constants are {e interned} into contiguous int
+      ids ({!Symtab}), making every equality test an int comparison;
+    - a ground bottom clause is flattened into int arrays with precomputed
+      per-predicate and per-(predicate, position, value) adjacency indexes
+      ({!compile_ground}) — the same indexes the symbolic engine builds, but
+      probed without hashing strings or allocating tuple keys per literal;
+    - a candidate clause is compiled into a {!plan}: dense variable
+      numbering, int-coded head and body, and a canonical int key that
+      replaces clause printing in the coverage memo;
+    - evaluation runs over reusable {!scratch} arenas — substitutions are
+      int arrays indexed by dense variable id, frontiers are index arrays
+      into a pair of swap banks — so a frontier step is loops over ints with
+      no per-step allocation.
+
+    {b Bit-identity.} [eval] replicates {!Subsumption.eval_prefix} exactly —
+    same verdicts, same witnesses, same [Coverage_truncated] budget hits —
+    so the learner's results cannot depend on which engine ran. The
+    invariants that make this work:
+
+    - interning is injective, so id equality ⟺ value equality, and ids are
+      {e never ordered}: ordering always goes through [Value.compare] on the
+      reverse array, so concurrent interning by pool workers (which permutes
+      id assignment) cannot change any comparison;
+    - after each frontier step every substitution binds the same variable
+      set, so [Substitution.compare] (an [Int_map.compare]) reduces to
+      lexicographic [Value.compare] over ascending variable id — replicated
+      here by assigning dense ids in ascending original-id order;
+    - adjacency buckets preserve the symbolic engine's reverse-insertion
+      order, candidate selection keeps its earliest-position-wins tie rule,
+      and the dedup / rotation / stride-truncation sequence of
+      {!Subsumption.step_frontier} is reproduced case by case. *)
+
+module Value = Relational.Value
+
+(** {1 Symbol table} *)
+
+module Symtab = struct
+  type t = {
+    lock : Mutex.t;
+    preds : (string, int) Hashtbl.t;
+    consts : int Value.Table.t;
+    mutable values : Value.t array;  (** id → value (reverse array) *)
+    mutable n_values : int;
+  }
+
+  let create () =
+    {
+      lock = Mutex.create ();
+      preds = Hashtbl.create 64;
+      consts = Value.Table.create 1024;
+      values = Array.make 1024 (Value.Int 0);
+      n_values = 0;
+    }
+
+  let pred_id t p =
+    Mutex.lock t.lock;
+    let id =
+      match Hashtbl.find_opt t.preds p with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length t.preds in
+          Hashtbl.add t.preds p id;
+          id
+    in
+    Mutex.unlock t.lock;
+    id
+
+  let const_id t v =
+    Mutex.lock t.lock;
+    let id =
+      match Value.Table.find_opt t.consts v with
+      | Some id -> id
+      | None ->
+          let id = t.n_values in
+          if id >= Array.length t.values then begin
+            let bigger = Array.make (2 * Array.length t.values) (Value.Int 0) in
+            Array.blit t.values 0 bigger 0 t.n_values;
+            t.values <- bigger
+          end;
+          t.values.(id) <- v;
+          t.n_values <- id + 1;
+          Value.Table.add t.consts v id;
+          id
+    in
+    Mutex.unlock t.lock;
+    id
+
+  (* Lock-free read of the reverse array. Safe because callers only index it
+     with ids obtained from a plan or compiled ground that was published to
+     them through a mutex (the plan cache or the ground-BC cache): the
+     release/acquire pair orders the interning writes — including the array
+     growth — before this read, and growth only ever appends. *)
+  let values t = t.values
+  let value t id = t.values.(id)
+end
+
+(** {1 Compiled ground clauses} *)
+
+(* Adjacency keys are (pred id, position, const id) triples in their own
+   hashtable: a packed-int key would need bounds on ids interned after the
+   ground was compiled, and a wrong-bucket collision would silently corrupt
+   verdicts. The per-probe tuple lives and dies in the minor heap. *)
+module Adj = Hashtbl.Make (struct
+  type t = int * int * int
+
+  let equal (a, b, c) (d, e, f) = a = d && b = e && c = f
+  let hash (a, b, c) = Hashtbl.hash (((a * 31) + b) lxor (c * 0x9e3779b1))
+end)
+
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash = Hashtbl.hash
+end)
+
+type ground = {
+  g_pred : int array;  (** literal index → predicate id *)
+  g_off : int array;  (** literal index → offset into [g_args]; length n+1 *)
+  g_args : int array;  (** flattened const ids of every literal *)
+  g_by_pred : int array Int_tbl.t;
+      (** predicate id → literal indexes, {e reverse} insertion order (the
+          order the symbolic engine's prepend-built buckets iterate in) *)
+  g_adj : int array Adj.t;
+      (** (pred, pos, const) → literal indexes, reverse insertion order *)
+  g_example : int array;  (** the interned example tuple *)
+}
+
+let ground_size g = Array.length g.g_pred
+
+(** [compile_ground tab ~example lits] flattens ground literals [lits] (in
+    order) and interns [example] alongside, so evaluation never touches the
+    symbol table. Raises [Invalid_argument] on a non-ground literal. *)
+let compile_ground tab ~example lits =
+  let n = List.length lits in
+  let g_pred = Array.make n 0 in
+  let g_off = Array.make (n + 1) 0 in
+  let total =
+    List.fold_left (fun acc l -> acc + Literal.arity l) 0 lits
+  in
+  let g_args = Array.make (max 1 total) 0 in
+  let by_pred = Int_tbl.create 16 in
+  let adj = Adj.create 64 in
+  let off = ref 0 in
+  List.iteri
+    (fun i l ->
+      let p = Symtab.pred_id tab (Literal.pred l) in
+      g_pred.(i) <- p;
+      g_off.(i) <- !off;
+      let bucket = try Int_tbl.find by_pred p with Not_found -> [] in
+      Int_tbl.replace by_pred p (i :: bucket);
+      Array.iteri
+        (fun pos t ->
+          match t with
+          | Term.Const v ->
+              let c = Symtab.const_id tab v in
+              g_args.(!off + pos) <- c;
+              let key = (p, pos, c) in
+              let b = try Adj.find adj key with Not_found -> [] in
+              Adj.replace adj key (i :: b)
+          | Term.Var _ ->
+              invalid_arg
+                ("Compiled.compile_ground: " ^ Literal.to_string l))
+        (Literal.args l);
+      off := !off + Literal.arity l)
+    lits;
+  g_off.(n) <- !off;
+  (* Array.of_list keeps the prepend-reversed order, matching the symbolic
+     engine's bucket iteration order exactly. *)
+  let g_by_pred = Int_tbl.create (Int_tbl.length by_pred) in
+  Int_tbl.iter (fun p b -> Int_tbl.replace g_by_pred p (Array.of_list b)) by_pred;
+  let g_adj = Adj.create (Adj.length adj) in
+  Adj.iter (fun k b -> Adj.replace g_adj k (Array.of_list b)) adj;
+  {
+    g_pred;
+    g_off;
+    g_args;
+    g_by_pred;
+    g_adj;
+    g_example = Array.map (Symtab.const_id tab) example;
+  }
+
+(** {1 Compiled clause plans} *)
+
+(* Argument encoding: a const id [c] is stored as [c] (≥ 0), a dense
+   variable [v] as [-v - 1] (< 0). The canonical key uses the same scheme
+   but with {e original} variable ids, so it distinguishes exactly the
+   clauses [Clause.to_string] distinguishes (α-variants stay distinct —
+   memoized witnesses mention original variable ids). *)
+
+type plan = {
+  p_nvars : int;
+  p_var_ids : int array;
+      (** dense id → original id, ascending — the order [Int_map.compare]
+          iterates, which is what makes the dense comparator below agree
+          with [Substitution.compare] *)
+  p_head : int array;  (** encoded head args (dense vars) *)
+  p_pred : int array;  (** body literal → predicate id *)
+  p_args : int array array;  (** body literal → encoded args (dense vars) *)
+  p_key : int array;  (** canonical memo key *)
+}
+
+let key p = p.p_key
+let n_body p = Array.length p.p_pred
+
+(** [compile tab clause] — int-code [clause] against [tab]. Pure up to
+    interning: recompiling yields an equal plan, so an evicted plan cache
+    never changes results. *)
+let compile tab clause =
+  let head = Clause.head clause and body = Clause.body clause in
+  (* Dense variable ids in ascending original-id order. *)
+  let var_set = Hashtbl.create 16 in
+  let add_vars l =
+    List.iter (fun v -> Hashtbl.replace var_set v ()) (Literal.vars l)
+  in
+  add_vars head;
+  List.iter add_vars body;
+  let p_var_ids =
+    Hashtbl.fold (fun v () acc -> v :: acc) var_set []
+    |> List.sort compare |> Array.of_list
+  in
+  let dense = Hashtbl.create 16 in
+  Array.iteri (fun d v -> Hashtbl.replace dense v d) p_var_ids;
+  let encode_arg ~original = function
+    | Term.Const v -> Symtab.const_id tab v
+    | Term.Var v -> if original then -v - 1 else -Hashtbl.find dense v - 1
+  in
+  let encode ~original l =
+    Array.map (encode_arg ~original) (Literal.args l)
+  in
+  let p_head = encode ~original:false head in
+  let p_pred =
+    Array.of_list (List.map (fun l -> Symtab.pred_id tab (Literal.pred l)) body)
+  in
+  let p_args = Array.of_list (List.map (encode ~original:false) body) in
+  (* Canonical key: [pred; arity; args...] for the head then each body
+     literal, args carrying original variable ids. Reading pred then arity
+     then exactly arity args makes the encoding prefix-free, hence
+     injective given injective interning. *)
+  let buf = ref [] in
+  let push_lit l =
+    let args = encode ~original:true l in
+    buf := List.rev_append (Array.to_list args)
+        (Literal.arity l :: Symtab.pred_id tab (Literal.pred l) :: !buf)
+  in
+  push_lit head;
+  List.iter push_lit body;
+  let p_key = Array.of_list (List.rev !buf) in
+  {
+    p_nvars = Array.length p_var_ids;
+    p_var_ids;
+    p_head;
+    p_pred;
+    p_args;
+    p_key;
+  }
+
+(** {1 Scratch arenas} *)
+
+(* A substitution is an int array of length ≥ nvars, [-1] = unbound. The
+   frontier is a bank of substitution buffers plus an index array giving
+   its logical order; steps generate into the other bank, then the banks
+   swap. Capacity: a step generates at most [frontier_n · per_subst] ≤
+   [max (2·cap) (3·cap)] extensions, so [3·cap + 4] slots per bank cover
+   any frontier the evaluator can produce (+ slack for the initial
+   singleton and cap < 2 corner cases). *)
+
+type scratch = {
+  mutable s_nvars : int;  (** current buffer width *)
+  mutable s_slots : int;  (** per-bank slot count *)
+  mutable bank_a : int array array;
+  mutable bank_b : int array array;
+  mutable idx_a : int array;
+  mutable idx_b : int array;
+  mutable ord : int array;  (** logical-order workspace *)
+  mutable aux : int array;  (** merge-sort workspace *)
+}
+
+let make_scratch () =
+  {
+    s_nvars = 0;
+    s_slots = 0;
+    bank_a = [||];
+    bank_b = [||];
+    idx_a = [||];
+    idx_b = [||];
+    ord = [||];
+    aux = [||];
+  }
+
+let ensure_scratch s ~nvars ~cap =
+  let slots = (3 * cap) + 4 in
+  if slots > s.s_slots then begin
+    s.s_slots <- slots;
+    s.bank_a <- Array.make slots [||];
+    s.bank_b <- Array.make slots [||];
+    s.idx_a <- Array.make slots 0;
+    s.idx_b <- Array.make slots 0;
+    s.ord <- Array.make slots 0;
+    s.aux <- Array.make slots 0;
+    s.s_nvars <- 0 (* buffers are stale; force re-widening below *)
+  end;
+  if nvars > s.s_nvars then begin
+    s.s_nvars <- nvars;
+    for i = 0 to s.s_slots - 1 do
+      s.bank_a.(i) <- Array.make nvars (-1);
+      s.bank_b.(i) <- Array.make nvars (-1)
+    done
+  end
+
+(* Bottom-up merge sort of [ord.(0..n-1)] by [cmp], stable, using [aux];
+   equal elements are identical substitutions here, so stability only
+   matters for matching List.sort_uniq's ascending output, which any
+   correct sort produces. *)
+let sort_ord ord aux n cmp =
+  let width = ref 1 in
+  while !width < n do
+    let lo = ref 0 in
+    while !lo < n - !width do
+      let mid = !lo + !width in
+      let hi = min n (mid + !width) in
+      let i = ref !lo and j = ref mid and k = ref !lo in
+      while !i < mid && !j < hi do
+        if cmp ord.(!i) ord.(!j) <= 0 then begin
+          aux.(!k) <- ord.(!i);
+          incr i
+        end
+        else begin
+          aux.(!k) <- ord.(!j);
+          incr j
+        end;
+        incr k
+      done;
+      while !i < mid do
+        aux.(!k) <- ord.(!i);
+        incr i;
+        incr k
+      done;
+      while !j < hi do
+        aux.(!k) <- ord.(!j);
+        incr j;
+        incr k
+      done;
+      Array.blit aux !lo ord !lo (hi - !lo);
+      lo := !lo + (2 * !width)
+    done;
+    width := 2 * !width
+  done
+
+let empty_bucket = [||]
+
+(** {1 Evaluation} *)
+
+(** [eval ?cap ?budget scratch tab plan g] replicates
+    {!Subsumption.eval_prefix} over the compiled representations: same
+    verdict, same witness, same [Coverage_truncated] budget hits. [Blocked
+    0] means the head cannot bind to the ground's example tuple. *)
+let eval ?(cap = Subsumption.default_frontier_cap) ?budget scratch tab plan g =
+  Obs.Trace.span ~cat:"subsumption" "eval_compiled" @@ fun () ->
+  ensure_scratch scratch ~nvars:plan.p_nvars ~cap;
+  let vals = Symtab.values tab in
+  let nvars = plan.p_nvars in
+  (* Head binding (the compiled [Coverage.head_subst]): const head args
+     compare by id against the interned example, var args bind. *)
+  let head_ok =
+    Array.length plan.p_head = Array.length g.g_example
+    && begin
+         let buf = scratch.bank_a.(0) in
+         Array.fill buf 0 nvars (-1);
+         let ok = ref true in
+         Array.iteri
+           (fun i a ->
+             if !ok then
+               if a >= 0 then begin
+                 if a <> g.g_example.(i) then ok := false
+               end
+               else begin
+                 let v = -a - 1 in
+                 if buf.(v) = -1 then buf.(v) <- g.g_example.(i)
+                 else if buf.(v) <> g.g_example.(i) then ok := false
+               end)
+           plan.p_head;
+         !ok
+       end
+  in
+  if not head_ok then Subsumption.Blocked 0
+  else begin
+    (* Frontier state: [cur_bank.(cur_idx.(0..n-1))] in logical order. *)
+    let cur_bank = ref scratch.bank_a
+    and nxt_bank = ref scratch.bank_b
+    and cur_idx = ref scratch.idx_a
+    and nxt_idx = ref scratch.idx_b in
+    !cur_idx.(0) <- 0;
+    let n = ref 1 in
+    let blocked = ref 0 in
+    let nlits = Array.length plan.p_pred in
+    let li = ref 0 in
+    while !blocked = 0 && !li < nlits do
+      let lit = !li in
+      let pred = plan.p_pred.(lit) and args = plan.p_args.(lit) in
+      let arity = Array.length args in
+      let per_subst = max 2 (3 * cap / max 1 !n) in
+      let out_n = ref 0 in
+      (* Expansion: for each frontier substitution, probe the smallest
+         bound-position bucket (earliest position wins ties — the symbolic
+         tie rule) and keep the first [per_subst] successful extensions in
+         bucket order. *)
+      for fi = 0 to !n - 1 do
+        let s = !cur_bank.(!cur_idx.(fi)) in
+        let best = ref empty_bucket and best_len = ref (-1) in
+        for pos = 0 to arity - 1 do
+          let a = args.(pos) in
+          let bound = if a >= 0 then a else s.(-a - 1) in
+          if bound >= 0 then begin
+            let bucket =
+              try Adj.find g.g_adj (pred, pos, bound)
+              with Not_found -> empty_bucket
+            in
+            let len = Array.length bucket in
+            if !best_len < 0 || len < !best_len then begin
+              best := bucket;
+              best_len := len
+            end
+          end
+        done;
+        let bucket =
+          if !best_len >= 0 then !best
+          else
+            try Int_tbl.find g.g_by_pred pred with Not_found -> empty_bucket
+        in
+        let matched = ref 0 and k = ref 0 in
+        let blen = Array.length bucket in
+        while !matched < per_subst && !k < blen do
+          let gl = bucket.(!k) in
+          incr k;
+          let goff = g.g_off.(gl) in
+          if g.g_off.(gl + 1) - goff = arity then begin
+            let buf = !nxt_bank.(!out_n) in
+            Array.blit s 0 buf 0 nvars;
+            let ok = ref true and pos = ref 0 in
+            while !ok && !pos < arity do
+              let a = args.(!pos) in
+              let gv = g.g_args.(goff + !pos) in
+              if a >= 0 then begin
+                if a <> gv then ok := false
+              end
+              else begin
+                let v = -a - 1 in
+                if buf.(v) = -1 then buf.(v) <- gv
+                else if buf.(v) <> gv then ok := false
+              end;
+              incr pos
+            done;
+            if !ok then begin
+              incr out_n;
+              incr matched
+            end
+          end
+        done
+      done;
+      if !out_n = 0 then blocked := lit + 1
+      else begin
+        let out_n = !out_n in
+        let ord = scratch.ord in
+        (* Logical order of the raw extensions: the symbolic engine builds
+           its list by prepending, so generation order reversed; frontiers
+           over 8 are sorted ascending and deduplicated instead. *)
+        let m =
+          if out_n <= 8 then begin
+            for i = 0 to out_n - 1 do
+              ord.(i) <- out_n - 1 - i
+            done;
+            out_n
+          end
+          else begin
+            for i = 0 to out_n - 1 do
+              ord.(i) <- i
+            done;
+            let bank = !nxt_bank in
+            let cmp i j =
+              let a = bank.(i) and b = bank.(j) in
+              let r = ref 0 and v = ref 0 in
+              while !r = 0 && !v < nvars do
+                let x = a.(!v) and y = b.(!v) in
+                (* Distinct ids are distinct values (interning is
+                   injective), so comparing through the reverse array
+                   agrees with [Substitution.compare]. *)
+                if x <> y then r := Value.compare vals.(x) vals.(y);
+                incr v
+              done;
+              !r
+            in
+            sort_ord ord scratch.aux out_n cmp;
+            let m = ref 1 in
+            for i = 1 to out_n - 1 do
+              if cmp ord.(!m - 1) ord.(i) <> 0 then begin
+                ord.(!m) <- ord.(i);
+                incr m
+              end
+            done;
+            !m
+          end
+        in
+        (* Rotation (≤ cap) or stride truncation (> cap), as in
+           [step_frontier]. *)
+        if m <= cap then begin
+          for i = 1 to m - 1 do
+            !nxt_idx.(i - 1) <- ord.(i)
+          done;
+          !nxt_idx.(m - 1) <- ord.(0);
+          n := m
+        end
+        else begin
+          Budget.hit_opt budget Budget.Coverage_truncated;
+          for i = 0 to cap - 1 do
+            !nxt_idx.(i) <- ord.(i * m / cap)
+          done;
+          n := cap
+        end;
+        let b = !cur_bank and ix = !cur_idx in
+        cur_bank := !nxt_bank;
+        cur_idx := !nxt_idx;
+        nxt_bank := b;
+        nxt_idx := ix;
+        incr li
+      end
+    done;
+    if !blocked > 0 then begin
+      Obs.Trace.arg "blocked_at" (string_of_int !blocked);
+      Subsumption.Blocked !blocked
+    end
+    else begin
+      (* Witness: the frontier's first substitution, decoded back to
+         original variable ids. Every clause variable occurs in the head or
+         a matched body literal, so all dense slots are bound. *)
+      let s = !cur_bank.(!cur_idx.(0)) in
+      let w = ref Substitution.empty in
+      for v = 0 to nvars - 1 do
+        if s.(v) >= 0 then
+          w := Substitution.bind plan.p_var_ids.(v) vals.(s.(v)) !w
+      done;
+      Subsumption.Covered !w
+    end
+  end

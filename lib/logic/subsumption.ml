@@ -36,8 +36,10 @@ type ground = {
 (** [ground_of_literals ls] indexes ground literals [ls].
     Raises [Invalid_argument] if some literal is not ground. *)
 let ground_of_literals ls =
+  let count = ref 0 in
   List.iter
     (fun l ->
+      incr count;
       if not (Literal.is_ground l) then
         invalid_arg ("Subsumption.ground_of_literals: " ^ Literal.to_string l))
     ls;
@@ -63,7 +65,7 @@ let ground_of_literals ls =
     ls;
   let by_pred = Hashtbl.create 16 in
   Hashtbl.iter (fun p b -> Hashtbl.replace by_pred p (Array.of_list b)) tmp;
-  { by_pred; by_pred_pos_value; literal_count = List.length ls }
+  { by_pred; by_pred_pos_value; literal_count = !count }
 
 let ground_size g = g.literal_count
 
@@ -399,59 +401,95 @@ let default_frontier_cap = 24
     capped at [cap] (expansion stops at [4 × cap] raw extensions), and
     rotated so a truncated tail gets its turn at the next literal. An empty
     result means [lit] blocks. *)
-let step_frontier ?(cap = default_frontier_cap) ?budget g frontier lit =
+let step_frontier_n ?(cap = default_frontier_cap) ?budget g frontier
+    ~frontier_n lit =
   (* Fair expansion: every frontier substitution gets an equal share of the
      [3 × cap] expansion budget. A global first-come cut-off would only ever
      extend the first few chains, silently discarding the binding diversity
-     the stride-truncation below works to preserve. *)
-  let frontier_size = List.length frontier in
-  let per_subst = max 2 (3 * cap / max 1 frontier_size) in
-  let out = ref [] in
+     the stride-truncation below works to preserve. [frontier_n] is the
+     caller-tracked size of [frontier]: every producer of a frontier already
+     knows its length, so the hot loop never recounts a list. *)
+  let per_subst = max 2 (3 * cap / max 1 frontier_n) in
+  let out = ref [] and out_n = ref 0 in
   List.iter
     (fun s ->
       List.iter
-        (fun s' -> out := s' :: !out)
+        (fun s' ->
+          out := s' :: !out;
+          incr out_n)
         (Util.take per_subst (candidates g s lit)))
     frontier;
+  let out_n = !out_n in
+  (* Truncate a frontier of [n] substitutions in [order] (an array in the
+     frontier's logical order): rotation below [cap] so a truncated tail
+     gets its turn at the next literal, else a stride-spread sample — kept
+     over the lexicographic head because neighbouring substitutions share
+     early-variable bindings, and a frontier keeping only one binding of a
+     shared variable would falsely block any later literal needing
+     another. *)
+  let finish order n =
+    if n <= cap then
+      if n = 0 then ([], 0)
+      else begin
+        let rotated = ref [ order.(0) ] in
+        for i = n - 1 downto 1 do
+          rotated := order.(i) :: !rotated
+        done;
+        (!rotated, n)
+      end
+    else begin
+      Budget.hit_opt budget Budget.Coverage_truncated;
+      (List.init cap (fun i -> order.(i * n / cap)), cap)
+    end
+  in
   (* Deduplication costs |out| log |out| map comparisons; tiny frontiers
      cannot meaningfully explode, so skip it for them. *)
-  let deduped =
-    match !out with
-    | [] | [ _ ] -> !out
-    | l when List.length l <= 8 -> l
-    | l -> List.sort_uniq Substitution.compare l
-  in
-  let n = List.length deduped in
-  if n <= cap then
-    match deduped with [] -> [] | x :: tl -> tl @ [ x ]
+  if out_n <= 8 then
+    if out_n <= cap then
+      match !out with
+      | [] -> ([], 0)
+      | x :: tl -> (tl @ [ x ], out_n)
+    else finish (Array.of_list !out) out_n
   else begin
-    (* Keep a stride-spread sample of the (sorted) frontier rather than its
-       lexicographic head: neighbouring substitutions share early-variable
-       bindings, and a frontier that kept only one binding of a shared
-       variable would falsely block any later literal needing another. *)
-    Budget.hit_opt budget Budget.Coverage_truncated;
-    let arr = Array.of_list deduped in
-    List.init cap (fun i -> arr.(i * n / cap))
+    (* In-place sort + adjacent-uniq over an array: same ascending output
+       as [List.sort_uniq Substitution.compare] (duplicate substitutions
+       are structurally identical), with the deduplicated count tracked
+       instead of recounted. *)
+    let arr = Array.of_list !out in
+    Array.sort Substitution.compare arr;
+    let m = ref 1 in
+    for i = 1 to out_n - 1 do
+      if Substitution.compare arr.(!m - 1) arr.(i) <> 0 then begin
+        arr.(!m) <- arr.(i);
+        incr m
+      end
+    done;
+    finish arr !m
   end
+
+let step_frontier ?cap ?budget g frontier lit =
+  fst
+    (step_frontier_n ?cap ?budget g frontier
+       ~frontier_n:(List.length frontier) lit)
 
 (** [eval_prefix ?cap ?budget ~subst c g] evaluates the body of [c] against
     [g] left to right starting from [subst], one {!step_frontier} per body
     literal; frontier truncations report into [budget]. *)
 let eval_prefix ?cap ?budget ~subst c g =
   Obs.Trace.span ~cat:"subsumption" "eval_prefix" @@ fun () ->
-  let rec go i frontier = function
+  let rec go i frontier frontier_n = function
     | [] -> (
         match frontier with
         | s :: _ -> Covered s
         | [] -> assert false)
     | lit :: rest -> (
-        match step_frontier ?cap ?budget g frontier lit with
-        | [] ->
+        match step_frontier_n ?cap ?budget g frontier ~frontier_n lit with
+        | [], _ ->
             Obs.Trace.arg "blocked_at" (string_of_int i);
             Blocked i
-        | next -> go (i + 1) next rest)
+        | next, n -> go (i + 1) next n rest)
   in
-  go 1 [ subst ] (Clause.body c)
+  go 1 [ subst ] 1 (Clause.body c)
 
 (** [covers_ground ?cap ?budget ~subst c g] is the boolean form of
     {!eval_prefix}. *)

@@ -100,6 +100,19 @@ val step_frontier :
   Literal.t ->
   Substitution.t list
 
+(** [step_frontier_n ?cap ?budget g frontier ~frontier_n lit] is
+    {!step_frontier} for callers that already know [frontier]'s length
+    (every producer of a frontier does); returns the new frontier with its
+    length, so a left-to-right sweep never recounts a list. *)
+val step_frontier_n :
+  ?cap:int ->
+  ?budget:Budget.t ->
+  ground ->
+  Substitution.t list ->
+  frontier_n:int ->
+  Literal.t ->
+  Substitution.t list * int
+
 (** [eval_prefix ?cap ?budget ~subst c g] evaluates the body of [c] left to
     right from [subst], one {!step_frontier} per literal. *)
 val eval_prefix :

@@ -1,0 +1,188 @@
+(* The compiled evaluation kernel's contract: bit-identity with the
+   symbolic frontier engine. Oracle-equality properties (verdicts AND
+   witnesses, including truncated frontiers at tiny caps), plus learner
+   A/B checks that --no-compiled-eval runs are bit-identical at a fixed
+   seed — sequentially and under a pool — with memo hit-rate parity. *)
+
+module Coverage = Learning.Coverage
+module Learn = Learning.Learn
+module Pool = Parallel.Pool
+module Compiled = Logic.Compiled
+module Subsumption = Logic.Subsumption
+
+let verdict_eq a b =
+  match (a, b) with
+  | Subsumption.Covered w1, Subsumption.Covered w2 ->
+      Logic.Substitution.compare w1 w2 = 0
+  | Subsumption.Blocked i, Subsumption.Blocked j -> i = j
+  | _ -> false
+
+let truncations b = (Budget.counters b).Budget.coverage_truncated
+
+let kernel_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"compiled coverage equals the symbolic oracle" ~count:8
+         QCheck.(pair (int_bound 1000) small_nat)
+         (fun (seed, j) ->
+           (* Two uncached contexts over the same world and master seed —
+              one compiled, one symbolic. Every verdict must agree exactly:
+              equal blocking indexes, witnesses equal under
+              Substitution.compare, and the same number of frontier
+              truncations (the budgeted give-up path). *)
+           let s = 1 + (seed mod 17) in
+           let d = Datasets.Uw.generate ~seed:s ~scale:0.3 () in
+           let mk use_compiled budget =
+             Coverage.create ~use_cache:false ~use_compiled ~budget
+               d.Datasets.Dataset.db d.Datasets.Dataset.manual_bias
+               ~rng:(Random.State.make [| s; 77 |])
+           in
+           let b_c = Budget.create () and b_s = Budget.create () in
+           let compiled = mk true b_c and symbolic = mk false b_s in
+           let pos = Array.of_list d.Datasets.Dataset.positives in
+           let bc =
+             Learning.Bottom_clause.build d.Datasets.Dataset.db
+               d.Datasets.Dataset.manual_bias
+               ~rng:(Random.State.make [| s; 99 |])
+               ~example:pos.(j mod Array.length pos)
+           in
+           let body = Logic.Clause.body bc in
+           let half = List.filteri (fun i _ -> 2 * i < List.length body) body in
+           let clauses =
+             [ bc; Logic.Clause.make (Logic.Clause.head bc) half ]
+           in
+           let examples =
+             d.Datasets.Dataset.positives @ d.Datasets.Dataset.negatives
+           in
+           Coverage.compiled_enabled compiled
+           && (not (Coverage.compiled_enabled symbolic))
+           && List.for_all
+                (fun c ->
+                  List.for_all
+                    (fun e ->
+                      verdict_eq (Coverage.eval compiled c e)
+                        (Coverage.eval symbolic c e))
+                    examples)
+                clauses
+           && truncations b_c = truncations b_s));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"compiled kernel equals eval_prefix at tiny frontier caps"
+         ~count:15
+         QCheck.(pair (int_bound 1000) (pair small_nat small_nat))
+         (fun (seed, (i, j)) ->
+           (* Direct kernel-level A/B at caps small enough to force the
+              stride-subsampling and sort+dedup paths on nearly every
+              literal, cross-pairing the clause's example with the ground
+              clause's (so head-blocked and Blocked-k cases both occur). *)
+           let s = 1 + (seed mod 17) in
+           let d = Datasets.Uw.generate ~seed:s ~scale:0.3 () in
+           let pos = Array.of_list d.Datasets.Dataset.positives in
+           let e1 = pos.(i mod Array.length pos) in
+           let e2 = pos.(j mod Array.length pos) in
+           let ground_clause =
+             Learning.Bottom_clause.build_ground d.Datasets.Dataset.db
+               d.Datasets.Dataset.manual_bias
+               ~rng:(Random.State.make [| s; 55 |])
+               ~example:e1
+           in
+           let bc =
+             Learning.Bottom_clause.build d.Datasets.Dataset.db
+               d.Datasets.Dataset.manual_bias
+               ~rng:(Random.State.make [| s; 99 |])
+               ~example:e2
+           in
+           let body = Logic.Clause.body ground_clause in
+           let sym_g = Subsumption.ground_of_literals body in
+           let tab = Compiled.Symtab.create () in
+           let comp_g = Compiled.compile_ground tab ~example:e1 body in
+           let plan = Compiled.compile tab bc in
+           let scratch = Compiled.make_scratch () in
+           List.for_all
+             (fun cap ->
+               let b_c = Budget.create () and b_s = Budget.create () in
+               let compiled =
+                 Compiled.eval ~cap ~budget:b_c scratch tab plan comp_g
+               in
+               let agreed =
+                 match Coverage.head_subst bc e1 with
+                 | None -> compiled = Subsumption.Blocked 0
+                 | Some subst ->
+                     verdict_eq compiled
+                       (Subsumption.eval_prefix ~cap ~budget:b_s ~subst bc
+                          sym_g)
+               in
+               agreed && truncations b_c = truncations b_s)
+             [ 3; 8; 24 ]));
+  ]
+
+(* ---------------- Learner A/B: --no-compiled-eval ---------------- *)
+
+let learn_uw ?pool ?(use_compiled = true) ?(use_cache = true) ~seed () =
+  let d = Datasets.Uw.generate ~seed ~scale:0.4 () in
+  let rng = Random.State.make [| seed |] in
+  let cov =
+    Coverage.create ~use_cache ~use_compiled d.Datasets.Dataset.db
+      d.Datasets.Dataset.manual_bias ~rng
+  in
+  let config = { Learn.default_config with timeout = Some 600.; pool } in
+  Learn.learn ~config cov ~rng ~positives:d.Datasets.Dataset.positives
+    ~negatives:d.Datasets.Dataset.negatives
+
+let render def = Logic.Clause.definition_to_string def
+
+let ab_tests =
+  [
+    Alcotest.test_case
+      "compiled on/off: bit-identical definitions, memo parity" `Slow
+      (fun () ->
+        (* The tentpole acceptance criterion: on a fixed seed the compiled
+           kernel must be invisible to results — and the canonical int-id
+           memo key must hit exactly as often as the printed-clause key. *)
+        let compiled = learn_uw ~use_compiled:true ~seed:5 () in
+        let symbolic = learn_uw ~use_compiled:false ~seed:5 () in
+        Alcotest.(check string) "identical definition"
+          (render symbolic.Learn.definition)
+          (render compiled.Learn.definition);
+        Alcotest.(check bool) "nonempty" true (compiled.Learn.definition <> []);
+        let counters r = r.Learn.degradation.Budget.counters in
+        Alcotest.(check int) "memo hit parity"
+          (counters symbolic).Budget.coverage_memo_hits
+          (counters compiled).Budget.coverage_memo_hits;
+        Alcotest.(check int) "memo miss parity"
+          (counters symbolic).Budget.coverage_memo_misses
+          (counters compiled).Budget.coverage_memo_misses;
+        Alcotest.(check int) "same subsumption work"
+          (counters symbolic).Budget.subsumption_tries
+          (counters compiled).Budget.subsumption_tries;
+        Alcotest.(check int) "same frontier truncations"
+          (counters symbolic).Budget.coverage_truncated
+          (counters compiled).Budget.coverage_truncated);
+    Alcotest.test_case "compiled on/off under a pool: bit-identical" `Slow
+      (fun () ->
+        let plain = learn_uw ~use_compiled:false ~seed:5 () in
+        List.iter
+          (fun use_compiled ->
+            let pooled =
+              Pool.with_pool ~size:1 (fun p ->
+                  learn_uw ~pool:p ~use_compiled ~seed:5 ())
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "pool=1 compiled=%b: identical definition"
+                 use_compiled)
+              (render plain.Learn.definition)
+              (render pooled.Learn.definition))
+          [ true; false ]);
+    Alcotest.test_case "uncached compiled run matches the cached one" `Slow
+      (fun () ->
+        (* The memo and the kernel compose: toggling either knob never
+           changes the definition. *)
+        let cached = learn_uw ~use_cache:true ~seed:5 () in
+        let uncached = learn_uw ~use_cache:false ~seed:5 () in
+        Alcotest.(check string) "identical definition"
+          (render cached.Learn.definition)
+          (render uncached.Learn.definition));
+  ]
+
+let suite = kernel_properties @ ab_tests

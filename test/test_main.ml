@@ -13,6 +13,7 @@ let () =
       ("evaluation", Test_evaluation.suite);
       ("query", Test_query.suite);
       ("properties", Test_properties.suite);
+      ("compiled", Test_compiled.suite);
       ("robustness", Test_robustness.suite);
       ("regressions", Test_regressions.suite);
     ]

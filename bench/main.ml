@@ -940,6 +940,105 @@ let scaling () =
         ("memo_counts_identical", Bench_json.B (counts_on = counts_off)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: checkpoint overhead and recovery time.                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The checkpoint/resume layer's costs, measured on the full UW learner at
+   the same fixed seed: wall-clock overhead of snapshotting at every clause
+   boundary (vs the identical run with no sink), the serialized snapshot
+   size, the time a resumed run takes to reach its first new clause
+   boundary, and — the invariant everything else rests on — that the
+   resumed definition is bit-identical to the uninterrupted one. *)
+
+let resilience_bench () =
+  hr ();
+  Fmt.pr "Resilience — checkpoint overhead, snapshot size, recovery time@.";
+  Fmt.pr "same seed; resumed definition must be bit-identical@.";
+  hr ();
+  let d = generate "uw" in
+  let positives = d.Dataset.positives and negatives = d.Dataset.negatives in
+  let run ?checkpoint ?resume () =
+    let rng = Random.State.make [| options.seed; 13 |] in
+    let cov =
+      Learning.Coverage.create d.Dataset.db d.Dataset.manual_bias ~rng
+    in
+    let config =
+      { Learning.Learn.default_config with
+        timeout = Some options.timeout;
+        checkpoint;
+        checkpoint_every = 1;
+        resume }
+    in
+    Obs.Trace.time (fun () ->
+        Learning.Learn.learn ~config cov ~rng ~positives ~negatives)
+  in
+  (* min of 3: learner runs are seconds-long; the min strips warmup and
+     allocator noise so a ≤5% overhead bound is actually measurable *)
+  let best_of_3 f =
+    let r1, t1 = f () in
+    let _, t2 = f () in
+    let _, t3 = f () in
+    (r1, min t1 (min t2 t3))
+  in
+  let r0, t_base = best_of_3 (fun () -> run ()) in
+  let tmp = Filename.temp_file "autobias_bench" ".ckpt.json" in
+  let checkpoints = ref [] in
+  let sink ck =
+    checkpoints := ck :: !checkpoints;
+    Resilience.Checkpoint.save ck tmp
+  in
+  let r1, t_ck = best_of_3 (fun () -> checkpoints := []; run ~checkpoint:sink ()) in
+  let n_checkpoints = List.length !checkpoints in
+  let ck_bytes =
+    match !checkpoints with
+    | [] -> 0
+    | ck :: _ -> String.length (Obs.Json.to_string (Resilience.Checkpoint.to_json ck))
+  in
+  let overhead_pct =
+    if t_base <= 0. then 0. else 100. *. (t_ck -. t_base) /. t_base
+  in
+  let render = Logic.Clause.definition_to_string in
+  let checkpointed_identical =
+    render r0.Learning.Learn.definition = render r1.Learning.Learn.definition
+  in
+  (* Resume from the earliest snapshot (boundary 1) and clock the time to
+     the first post-resume clause boundary — the "back in business" lag. *)
+  let resume_identical, recovery_s =
+    match List.rev !checkpoints with
+    | [] -> (checkpointed_identical, 0.)
+    | first :: _ ->
+        let t_first = ref None in
+        let t_start = Unix.gettimeofday () in
+        let probe _ck =
+          if !t_first = None then t_first := Some (Unix.gettimeofday () -. t_start);
+          `Skipped
+        in
+        let r2, t_resume = run ~checkpoint:probe ~resume:first () in
+        ( render r0.Learning.Learn.definition
+          = render r2.Learning.Learn.definition,
+          Option.value !t_first ~default:t_resume )
+  in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  Fmt.pr "baseline     : %8.3fs@." t_base;
+  Fmt.pr "checkpointed : %8.3fs  (%d snapshots, %d bytes each, every boundary)@."
+    t_ck n_checkpoints ck_bytes;
+  Fmt.pr "overhead     : %7.2f%%  (acceptance bound: 5%%)@." overhead_pct;
+  Fmt.pr "recovery     : %8.3fs to the first post-resume clause boundary@."
+    recovery_s;
+  Fmt.pr "definitions identical: checkpointed %s / resumed %s@."
+    (if checkpointed_identical then "YES" else "NO -- CHECKPOINT PERTURBED THE RUN")
+    (if resume_identical then "YES" else "NO -- RESUME DIVERGED");
+  Bench_json.record "resilience"
+    [ ("uw.baseline_s", Bench_json.F t_base);
+      ("uw.checkpointed_s", Bench_json.F t_ck);
+      ("uw.checkpoint_overhead_pct", Bench_json.F overhead_pct);
+      ("uw.checkpoint_bytes", Bench_json.I ck_bytes);
+      ("uw.checkpoints_written", Bench_json.I n_checkpoints);
+      ("uw.recovery_first_clause_s", Bench_json.F recovery_s);
+      ("uw.checkpointed_identical", Bench_json.B checkpointed_identical);
+      ("uw.resume_identical", Bench_json.B resume_identical) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations.                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1058,6 +1157,7 @@ let experiments =
     ("ablation-noise", ablation_noise);
     ("coverage", coverage_bench);
     ("scaling", scaling);
+    ("resilience", resilience_bench);
     ("micro", micro);
   ]
 

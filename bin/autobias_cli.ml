@@ -61,12 +61,60 @@ let domains_arg =
 
 let chaos_arg =
   let doc =
-    "Fault-injection probability for pool workers (testing): each queued \
-     job is killed with probability $(docv) under a seeded RNG. The run \
-     must still terminate with a valid definition; dropped jobs show up \
-     in the pool stats and the worker-fault counter."
+    "Fault-injection probability (testing): each probed operation faults \
+     with probability $(docv) under a seeded RNG. Without --chaos-layers \
+     this injects into pool workers only (the pre-registry behavior); with \
+     it, into every named layer. The run must still terminate with a valid \
+     definition; injections show up in the pool stats, the degradation \
+     counters and the run report's chaos snapshot."
   in
   Arg.(value & opt (some float) None & info [ "chaos" ] ~docv:"P" ~doc)
+
+let chaos_layers_arg =
+  let doc =
+    "Comma-separated chaos layers to inject into (pool, csv, sampling, \
+     memo, checkpoint — or 'all'). Each layer gets its own seeded \
+     injector at the --chaos probability; worker kills (--chaos-kill) arm \
+     only the pool layer. Equivalent to AUTOBIAS_CHAOS_LAYERS."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos-layers" ] ~docv:"LAYERS" ~doc)
+
+let chaos_kill_arg =
+  let doc =
+    "Worker-kill probability (testing): each pool job additionally kills \
+     its worker domain with probability $(docv); supervision restarts the \
+     domain (bounded, with backoff) and retries or quarantines the job."
+  in
+  Arg.(value & opt (some float) None & info [ "chaos-kill" ] ~docv:"P" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Write a resumable snapshot of learner progress to $(docv) at clause \
+     boundaries (atomic tmp+rename; the previous snapshot survives a torn \
+     write). Resume with --resume."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Snapshot every $(docv)-th clause boundary (default 1)." in
+  Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume learning from the snapshot at $(docv) (as written by \
+     --checkpoint). The dataset/method/seed configuration must match the \
+     run that wrote it; the resumed run is bit-identical to an \
+     uninterrupted run at the same seed."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let kill_after_arg =
+  let doc =
+    "Stop the run (cooperative cancellation) after $(docv) checkpoints \
+     have been written (testing: simulates a crash at a clause boundary \
+     for resume smoke tests). Requires --checkpoint."
+  in
+  Arg.(value & opt (some int) None & info [ "kill-after-clause" ] ~docv:"K" ~doc)
 
 let config ?(coverage_cache = true) ?(compiled_eval = true) ~strategy ~timeout
     () =
@@ -99,10 +147,13 @@ let metrics_arg =
 (* Enable the tracer when asked, run the command, then export the trace and
    the run report — also on exceptions, so a run cut by Ctrl-C still leaves
    its observability artifacts behind. The continuation receives
-   [~note_degradation] to attach the run's budget accounting to the report. *)
+   [~note_degradation] to attach the run's budget accounting to the report
+   and [~note_extra] to append further top-level report entries (chaos
+   snapshot, pool quarantine, CSV skips, checkpoint info). *)
 let with_observability ~trace ~metrics ~name ~config k =
   if trace <> None then Obs.Trace.enable ();
   let degradation = ref None in
+  let extra = ref [] in
   let finish () =
     (match trace with
     | Some path ->
@@ -113,14 +164,17 @@ let with_observability ~trace ~metrics ~name ~config k =
     match metrics with
     | Some path ->
         let report =
-          Obs.Run_report.make ~name ~config ?degradation:!degradation ()
+          Obs.Run_report.make ~name ~config ?degradation:!degradation
+            ~extra:(List.rev !extra) ()
         in
         Obs.Run_report.write report path;
         Fmt.pr "wrote run report to %s@." path
     | None -> ()
   in
   Fun.protect ~finally:finish (fun () ->
-      k ~note_degradation:(fun d -> degradation := Some d))
+      k
+        ~note_degradation:(fun d -> degradation := Some d)
+        ~note_extra:(fun kv -> extra := kv :: !extra))
 
 let no_cache_arg =
   let doc =
@@ -142,10 +196,30 @@ let no_compiled_arg =
   Arg.(value & flag & info [ "no-compiled-eval" ] ~doc)
 
 (* Build the budget / pool a command asked for and pass them down; the pool
-   is shut down (domains joined) before returning, also on exceptions. *)
-let with_resources ~seed ~deadline ~domains ~chaos k =
+   is shut down (domains joined) before returning, also on exceptions.
+   [chaos_layers] installs per-layer injectors first, so the pool picks up
+   the registry's "pool" injector when one is configured. *)
+let with_resources ~seed ~deadline ~domains ~chaos ~chaos_layers ~chaos_kill k =
+  (match chaos_layers with
+  | Some layers ->
+      let layers =
+        String.split_on_char ',' layers
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      Chaos.configure ?p_kill:chaos_kill
+        ~p_fault:(Option.value chaos ~default:0.)
+        ~seed layers
+  | None -> ());
   let budget = Option.map (fun s -> Budget.create ~deadline:s ()) deadline in
-  let fault = Option.map (fun p -> Parallel.Fault.create ~p_fault:p ~seed ()) chaos in
+  let fault =
+    match Chaos.get "pool" with
+    | Some _ as inj -> inj
+    | None ->
+        Option.map
+          (fun p -> Parallel.Fault.create ~p_fault:p ?p_kill:chaos_kill ~seed ())
+          chaos
+  in
   match (domains, fault) with
   | (None | Some 0), None -> k ~budget None
   | size, _ ->
@@ -156,12 +230,89 @@ let report_run ~budget pool =
   (match pool with
   | Some p ->
       let s = Parallel.Pool.stats p in
-      Fmt.pr "pool: %d domains, %d tasks run, %d faults dropped@."
+      Fmt.pr
+        "pool: %d domains, %d tasks run, %d faults dropped, %d workers \
+         restarted, %d jobs quarantined@."
         s.Parallel.Pool.size s.Parallel.Pool.tasks_run s.Parallel.Pool.dropped
+        s.Parallel.Pool.restarts s.Parallel.Pool.quarantined
   | None -> ());
   Option.iter
     (fun b -> Fmt.pr "budget: %a@." Budget.pp_degradation (Budget.degradation b))
     budget
+
+(* Run-report extras: one JSON entry per resilience surface, each omitted
+   when it has nothing to say. *)
+let chaos_extra () =
+  match Chaos.snapshot () with
+  | [] -> []
+  | layers ->
+      [
+        ( "chaos",
+          Obs.Json.Obj
+            (List.map
+               (fun (name, c) ->
+                 ( name,
+                   Obs.Json.Obj
+                     [
+                       ("tickets", Obs.Json.Int c.Chaos.n_tickets);
+                       ("injected", Obs.Json.Int c.Chaos.n_injected);
+                       ("delayed", Obs.Json.Int c.Chaos.n_delayed);
+                       ("killed", Obs.Json.Int c.Chaos.n_killed);
+                     ] ))
+               layers) );
+      ]
+
+let csv_extra () =
+  match Relational.Csv.skip_stats () with
+  | [] -> []
+  | stats ->
+      [
+        ( "csv_skips",
+          Obs.Json.Obj
+            (List.map
+               (fun (file, s) ->
+                 ( file,
+                   Obs.Json.Obj
+                     (("rows_skipped", Obs.Json.Int s.Relational.Csv.rows_skipped)
+                     ::
+                     (match s.Relational.Csv.first_bad with
+                     | Some (line, msg) ->
+                         [
+                           ("first_bad_line", Obs.Json.Int line);
+                           ("first_bad", Obs.Json.Str msg);
+                         ]
+                     | None -> [])) ))
+               stats) );
+      ]
+
+let pool_extra = function
+  | None -> []
+  | Some p ->
+      let s = Parallel.Pool.stats p in
+      let quarantine =
+        List.map
+          (fun (r : Parallel.Pool.quarantine) ->
+            Obs.Json.Obj
+              [
+                ("job_id", Obs.Json.Int r.job_id);
+                ("attempts", Obs.Json.Int r.attempts);
+                ("exn", Obs.Json.Str r.exn);
+                ("backtrace", Obs.Json.Str r.backtrace);
+              ])
+          (Parallel.Pool.quarantine_records p)
+      in
+      [
+        ( "pool",
+          Obs.Json.Obj
+            [
+              ("size", Obs.Json.Int s.Parallel.Pool.size);
+              ("tasks_run", Obs.Json.Int s.Parallel.Pool.tasks_run);
+              ("dropped", Obs.Json.Int s.Parallel.Pool.dropped);
+              ("restarts", Obs.Json.Int s.Parallel.Pool.restarts);
+              ("quarantined", Obs.Json.Int s.Parallel.Pool.quarantined);
+              ("quarantine", Obs.Json.List quarantine);
+            ] );
+      ]
 
 (* ---------------- learn ---------------- *)
 
@@ -182,7 +333,8 @@ let load_definition path =
 
 let learn_cmd =
   let run dataset_name method_name strategy scale seed timeout deadline domains
-      chaos no_cache no_compiled cv show_bias output trace metrics =
+      chaos chaos_layers chaos_kill checkpoint checkpoint_every resume
+      kill_after no_cache no_compiled cv show_bias output trace metrics =
     let dataset = dataset_of_name ~scale ~seed dataset_name in
     let method_ = Autobias.method_of_string method_name in
     let report_config =
@@ -201,12 +353,23 @@ let learn_cmd =
     in
     with_observability ~trace ~metrics ~name:("learn:" ^ dataset_name)
       ~config:report_config
-    @@ fun ~note_degradation ->
-    with_resources ~seed ~deadline ~domains ~chaos @@ fun ~budget pool ->
+    @@ fun ~note_degradation ~note_extra ->
+    with_resources ~seed ~deadline ~domains ~chaos ~chaos_layers ~chaos_kill
+    @@ fun ~budget pool ->
+    (* --kill-after-clause cancels through the budget; make sure there is
+       one to cancel even without --deadline. *)
+    let budget =
+      match (budget, kill_after) with
+      | None, Some _ -> Some (Budget.create ())
+      | b, _ -> b
+    in
     let config =
       { (config ~coverage_cache:(not no_cache) ~compiled_eval:(not no_compiled)
            ~strategy ~timeout ())
         with budget; pool }
+    in
+    let note_resilience () =
+      List.iter note_extra (chaos_extra () @ pool_extra pool @ csv_extra ())
     in
     Fmt.pr "%a" Datasets.Dataset.summary dataset;
     if cv then begin
@@ -217,15 +380,76 @@ let learn_cmd =
         (List.length result.Evaluation.Cross_validation.folds)
         Evaluation.Cross_validation.pp_result result;
       Option.iter (fun b -> note_degradation (Budget.degradation b)) budget;
+      note_resilience ();
       report_run ~budget pool
     end
     else begin
+      let fingerprint =
+        Autobias.fingerprint ~dataset:dataset_name ~method_ config ~seed
+      in
+      let resume_ck =
+        match resume with
+        | None -> None
+        | Some path -> (
+            match Resilience.Checkpoint.load path with
+            | Error msg ->
+                Fmt.epr "cannot resume from %s: %s@." path msg;
+                exit 2
+            | Ok ck -> (
+                match Resilience.Checkpoint.validate ~fingerprint ck with
+                | Error msg ->
+                    Fmt.epr "cannot resume from %s: %s@." path msg;
+                    exit 2
+                | Ok () ->
+                    Fmt.pr
+                      "resuming from %s at clause boundary %d (%d clauses \
+                       learned)@."
+                      path ck.Resilience.Checkpoint.boundary
+                      (List.length ck.Resilience.Checkpoint.definition);
+                    Some ck))
+      in
+      let written = ref 0 in
+      let sink =
+        Option.map
+          (fun path ck ->
+            match Resilience.Checkpoint.save ck path with
+            | `Written ->
+                incr written;
+                (match kill_after with
+                | Some k when !written >= k ->
+                    Fmt.pr
+                      "kill-after-clause: cancelling after %d checkpoints@." k;
+                    Option.iter Budget.cancel budget
+                | _ -> ());
+                `Written
+            | `Skipped -> `Skipped)
+          checkpoint
+      in
+      let config =
+        {
+          config with
+          checkpoint = sink;
+          checkpoint_every = max 1 checkpoint_every;
+          fingerprint;
+          resume = resume_ck;
+        }
+      in
       let rng = Random.State.make [| seed |] in
       let r =
         Autobias.learn_once ~config method_ dataset ~rng
           ~train_pos:dataset.Datasets.Dataset.positives
           ~train_neg:dataset.Datasets.Dataset.negatives
       in
+      Option.iter
+        (fun path ->
+          note_extra
+            ( "checkpoint",
+              Obs.Json.Obj
+                [
+                  ("path", Obs.Json.Str path);
+                  ("written", Obs.Json.Int !written);
+                ] ))
+        checkpoint;
       if show_bias then
         Fmt.pr "--- language bias (%d definitions) ---@.%a@.---@."
           (Bias.Language.size r.Autobias.bias_info.Autobias.bias)
@@ -240,6 +464,7 @@ let learn_cmd =
           note_degradation d;
           Fmt.pr "degradation: %a@." Budget.pp_degradation d)
         r.Autobias.degradation;
+      note_resilience ();
       report_run ~budget:None pool;
       let cov =
         Autobias.coverage_context config dataset
@@ -271,9 +496,10 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"learn a Horn definition of a dataset's target")
     Term.(
       const run $ dataset_arg $ method_arg $ strategy_arg $ scale_arg $ seed_arg
-      $ timeout_arg $ deadline_arg $ domains_arg $ chaos_arg $ no_cache_arg
-      $ no_compiled_arg $ cv_arg $ show_bias_arg $ output_arg $ trace_arg
-      $ metrics_arg)
+      $ timeout_arg $ deadline_arg $ domains_arg $ chaos_arg $ chaos_layers_arg
+      $ chaos_kill_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+      $ kill_after_arg $ no_cache_arg $ no_compiled_arg $ cv_arg $ show_bias_arg
+      $ output_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- bias ---------------- *)
 
@@ -459,6 +685,7 @@ let explain_cmd =
 (* ---------------- group ---------------- *)
 
 let () =
+  Chaos.from_env ();
   let doc = "relational learning with automatic language bias (SIGMOD '21)" in
   let info = Cmd.info "autobias" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ learn_cmd; bias_cmd; data_cmd; predict_cmd; explain_cmd ]))

@@ -69,6 +69,13 @@ type config = {
   pool : Parallel.Pool.t option;
       (** domain pool threaded into the learner's hot paths (candidate
           evaluation, acceptance counting, CV folds); [None] = sequential *)
+  checkpoint : (Resilience.Checkpoint.t -> [ `Written | `Skipped ]) option;
+      (** checkpoint sink threaded to {!Learning.Learn} (clause-boundary
+          snapshots); [None] disables checkpointing *)
+  checkpoint_every : int;  (** boundary stride for the sink (min 1) *)
+  fingerprint : string;  (** stamped into checkpoints; see {!fingerprint} *)
+  resume : Resilience.Checkpoint.t option;
+      (** resume the learner from a prior snapshot (validate it first) *)
 }
 
 (** Defaults follow Section 6.1: ≤20 tuples per mode, constant-threshold
@@ -93,7 +100,33 @@ let default_config =
     compiled_eval = true;
     budget = None;
     pool = None;
+    checkpoint = None;
+    checkpoint_every = 1;
+    fingerprint = "";
+    resume = None;
   }
+
+(** [fingerprint ~dataset ~method_ config ~seed] digests everything that
+    determines a learning run's trajectory — dataset identity, method,
+    sampling strategy, the learner knobs and the seed — into a short hex
+    string. Stamped into checkpoints so {!Resilience.Checkpoint.validate}
+    can reject a resume against a different run setup. *)
+let fingerprint ~dataset ~method_ config ~seed =
+  Resilience.Checkpoint.fingerprint_of_strings
+    [
+      dataset;
+      method_to_string method_;
+      Sampling.Strategy.to_string config.strategy;
+      string_of_int config.bc_depth;
+      string_of_int config.sample_size;
+      string_of_int config.max_body_literals;
+      string_of_int config.beam_width;
+      string_of_int config.generalization_sample;
+      string_of_int config.min_positives;
+      Printf.sprintf "%.6f" config.min_precision;
+      string_of_int config.max_clauses;
+      string_of_int seed;
+    ]
 
 type bias_info = {
   bias : Bias.Language.t;
@@ -157,6 +190,10 @@ let learn_config config =
     timeout = config.timeout;
     budget = config.budget;
     pool = config.pool;
+    checkpoint = config.checkpoint;
+    checkpoint_every = config.checkpoint_every;
+    fingerprint = config.fingerprint;
+    resume = config.resume;
   }
 
 let foil_config config =

@@ -49,6 +49,10 @@ type event =
   | Candidate_abandoned
   | Job_skipped
   | Worker_fault
+  | Worker_restarted
+  | Job_quarantined
+  | Checkpoint_written
+  | Checkpoint_skipped
 
 let event_index = function
   | Subsumption_try -> 0
@@ -62,8 +66,12 @@ let event_index = function
   | Candidate_abandoned -> 8
   | Job_skipped -> 9
   | Worker_fault -> 10
+  | Worker_restarted -> 11
+  | Job_quarantined -> 12
+  | Checkpoint_written -> 13
+  | Checkpoint_skipped -> 14
 
-let n_events = 11
+let n_events = 15
 
 type t = {
   deadline : float option;  (** absolute, per scope *)
@@ -125,6 +133,10 @@ type counters = {
   candidates_abandoned : int;
   jobs_skipped : int;
   worker_faults : int;
+  workers_restarted : int;
+  jobs_quarantined : int;
+  checkpoints_written : int;
+  checkpoints_skipped : int;
 }
 
 let counters t =
@@ -141,6 +153,10 @@ let counters t =
     candidates_abandoned = get Candidate_abandoned;
     jobs_skipped = get Job_skipped;
     worker_faults = get Worker_fault;
+    workers_restarted = get Worker_restarted;
+    jobs_quarantined = get Job_quarantined;
+    checkpoints_written = get Checkpoint_written;
+    checkpoints_skipped = get Checkpoint_skipped;
   }
 
 let zero =
@@ -156,6 +172,10 @@ let zero =
     candidates_abandoned = 0;
     jobs_skipped = 0;
     worker_faults = 0;
+    workers_restarted = 0;
+    jobs_quarantined = 0;
+    checkpoints_written = 0;
+    checkpoints_skipped = 0;
   }
 
 let counters_leq a b =
@@ -170,6 +190,10 @@ let counters_leq a b =
   && a.candidates_abandoned <= b.candidates_abandoned
   && a.jobs_skipped <= b.jobs_skipped
   && a.worker_faults <= b.worker_faults
+  && a.workers_restarted <= b.workers_restarted
+  && a.jobs_quarantined <= b.jobs_quarantined
+  && a.checkpoints_written <= b.checkpoints_written
+  && a.checkpoints_skipped <= b.checkpoints_skipped
 
 let counters_to_assoc c =
   [
@@ -184,7 +208,37 @@ let counters_to_assoc c =
     ("candidates_abandoned", c.candidates_abandoned);
     ("jobs_skipped", c.jobs_skipped);
     ("worker_faults", c.worker_faults);
+    ("workers_restarted", c.workers_restarted);
+    ("jobs_quarantined", c.jobs_quarantined);
+    ("checkpoints_written", c.checkpoints_written);
+    ("checkpoints_skipped", c.checkpoints_skipped);
   ]
+
+(* The event behind each [counters_to_assoc] name — what lets a resumed run
+   re-credit the counters a checkpoint recorded onto its own budget. *)
+let event_of_name = function
+  | "subsumption_tries" -> Some Subsumption_try
+  | "subsumption_restarts" -> Some Subsumption_restart
+  | "subsumption_exhausted" -> Some Subsumption_exhausted
+  | "coverage_truncated" -> Some Coverage_truncated
+  | "coverage_memo_hits" -> Some Coverage_memo_hit
+  | "coverage_memo_misses" -> Some Coverage_memo_miss
+  | "coverage_inherited" -> Some Coverage_inherited
+  | "beam_rounds_cut" -> Some Beam_cut
+  | "candidates_abandoned" -> Some Candidate_abandoned
+  | "jobs_skipped" -> Some Job_skipped
+  | "worker_faults" -> Some Worker_fault
+  | "workers_restarted" -> Some Worker_restarted
+  | "jobs_quarantined" -> Some Job_quarantined
+  | "checkpoints_written" -> Some Checkpoint_written
+  | "checkpoints_skipped" -> Some Checkpoint_skipped
+  | _ -> None
+
+let add_assoc t kvs =
+  List.iter
+    (fun (name, n) ->
+      match event_of_name name with Some e -> add t e n | None -> ())
+    kvs
 
 (* Zero counters are elided: a clean `--deadline` run prints "no degradation
    events" instead of a wall of zeroes. *)

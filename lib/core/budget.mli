@@ -87,6 +87,14 @@ type event =
       (** a generated candidate clause was never evaluated *)
   | Job_skipped  (** a parallel job slot skipped after expiry *)
   | Worker_fault  (** a pool worker dropped an exception during the run *)
+  | Worker_restarted
+      (** a crashed worker domain was replaced by the pool's supervisor *)
+  | Job_quarantined
+      (** a job was quarantined after repeatedly killing its worker *)
+  | Checkpoint_written  (** a learner checkpoint was written at a boundary *)
+  | Checkpoint_skipped
+      (** a checkpoint write was skipped (injected fault or I/O error); the
+          run continues, the previous checkpoint survives *)
 
 (** [hit t e] bumps [e]'s counter by one. Lock-free. *)
 val hit : t -> event -> unit
@@ -97,6 +105,11 @@ val add : t -> event -> int -> unit
 (** [hit_opt b e] is [hit] through an optional budget (no-op on [None]) —
     the shape the [?budget] threading uses. *)
 val hit_opt : t option -> event -> unit
+
+(** [add_assoc t kvs] credits counters by their {!counters_to_assoc} names
+    (unknown names are ignored) — how a resumed run restores the counters
+    its checkpoint recorded. *)
+val add_assoc : t -> (string * int) list -> unit
 
 type counters = {
   subsumption_tries : int;
@@ -110,6 +123,10 @@ type counters = {
   candidates_abandoned : int;
   jobs_skipped : int;
   worker_faults : int;
+  workers_restarted : int;
+  jobs_quarantined : int;
+  checkpoints_written : int;
+  checkpoints_skipped : int;
 }
 
 (** [counters t] is a consistent-enough snapshot (each cell is read

@@ -279,6 +279,10 @@ let eval_uncached t clause example =
 let eval t clause example =
   match t.memo with
   | None -> eval_uncached t clause example
+  (* "memo" chaos: pretend the cache lost this entry — bypass the probe
+     and the insert and recompute. Purity of verdicts means the answer is
+     identical, so chaos here degrades throughput, never correctness. *)
+  | Some _ when Chaos.fires "memo" -> eval_uncached t clause example
   | Some m -> (
       let clause_key =
         match t.compiled with

@@ -66,6 +66,24 @@ type config = {
           ground-BC warming; [None] runs the sequential code path. Results
           are identical for every pool size (coverage is deterministic per
           example), so the pool only changes wall-clock time. *)
+  checkpoint : (Resilience.Checkpoint.t -> [ `Written | `Skipped ]) option;
+      (** sink invoked at clause boundaries (every [checkpoint_every]-th
+          covering iteration) with a complete snapshot of learner progress.
+          The sink must not perturb learner state — [learn] hands it copies.
+          A raising sink is absorbed as [`Skipped]; outcomes are tallied as
+          [Budget.Checkpoint_written] / [Checkpoint_skipped]. *)
+  checkpoint_every : int;  (** boundary stride for the sink; min 1 *)
+  fingerprint : string;
+      (** configuration fingerprint stamped into checkpoints so a resume
+          against a different dataset/config is rejected; [""] disables the
+          check *)
+  resume : Resilience.Checkpoint.t option;
+      (** continue a prior run from its snapshot: the learner restores the
+          accepted clauses, the surviving uncovered positives (as indices
+          into [positives], which must be the same list in the same order),
+          the RNG and the progress counters, then proceeds exactly as the
+          uninterrupted run would — bit-identical definitions at the same
+          seed. *)
 }
 
 let default_config =
@@ -85,6 +103,10 @@ let default_config =
     timeout = Some 600.;
     budget = None;
     pool = None;
+    checkpoint = None;
+    checkpoint_every = 1;
+    fingerprint = "";
+    resume = None;
   }
 
 type stats = {
@@ -492,6 +514,26 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
   in
   (final, sample_precision final)
 
+(* Map the surviving [uncovered] sublist to indices into the original
+   [positives]. The covering loop only ever [List.filter]s the list, so it
+   is an order- and identity-preserving subsequence — one lockstep walk
+   with physical equality recovers the positions. *)
+let indices_of ~positives l =
+  let rec go i ps ls acc =
+    match (ps, ls) with
+    | _, [] -> List.rev acc
+    | p :: ptl, x :: ltl when p == x -> go (i + 1) ptl ltl (i :: acc)
+    | _ :: ptl, _ -> go (i + 1) ptl ls acc
+    | [], _ :: _ ->
+        invalid_arg "Learn.indices_of: uncovered is not a sublist of positives"
+  in
+  go 0 positives l []
+
+let restore_uncovered ~positives idxs =
+  let keep = Hashtbl.create (List.length idxs) in
+  List.iter (fun i -> Hashtbl.replace keep i ()) idxs;
+  List.filteri (fun i _ -> Hashtbl.mem keep i) positives
+
 let meets_criterion ~config ~pos_covered ~neg_covered =
   pos_covered >= config.min_positives
   &&
@@ -513,16 +555,71 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
     | None -> Budget.create ?deadline:config.timeout ()
   in
   let cov = Coverage.with_budget cov budget in
-  let faults_before =
+  let faults_before, restarts_before, quarantined_before =
     match config.pool with
-    | Some p -> (Parallel.Pool.stats p).dropped
-    | None -> 0
+    | Some p ->
+        let s = Parallel.Pool.stats p in
+        (s.dropped, s.restarts, s.quarantined)
+    | None -> (0, 0, 0)
+  in
+  (* Resume: re-anchor every piece of loop state from the snapshot. The RNG
+     is the checkpoint's (copied — the caller's snapshot stays reusable), so
+     from the first post-resume draw the run replays the uninterrupted
+     continuation exactly. *)
+  let rng =
+    match config.resume with
+    | Some ck -> Random.State.copy ck.Resilience.Checkpoint.rng
+    | None -> rng
   in
   let candidates_evaluated = Atomic.make 0 in
   let definition = ref [] in
   let seeds_skipped = ref 0 in
   let uncovered = ref positives in
   let consecutive_skips = ref 0 in
+  let boundary = ref 0 in
+  let base_elapsed = ref 0. in
+  (match config.resume with
+  | None -> ()
+  | Some ck ->
+      (* [definition] is kept newest-first in the loop; checkpoints store it
+         oldest-first (the user-facing order). *)
+      definition := List.rev ck.Resilience.Checkpoint.definition;
+      uncovered :=
+        restore_uncovered ~positives ck.Resilience.Checkpoint.uncovered;
+      seeds_skipped := ck.Resilience.Checkpoint.seeds_skipped;
+      consecutive_skips := ck.Resilience.Checkpoint.consecutive_skips;
+      Atomic.set candidates_evaluated
+        ck.Resilience.Checkpoint.candidates_evaluated;
+      boundary := ck.Resilience.Checkpoint.boundary;
+      base_elapsed := ck.Resilience.Checkpoint.elapsed_s;
+      (* Credit the prior run's degradation counters so the resumed run's
+         report covers the whole logical run, not just the tail. *)
+      Budget.add_assoc budget ck.Resilience.Checkpoint.counters);
+  let emit_checkpoint () =
+    match config.checkpoint with
+    | Some sink when !boundary mod max 1 config.checkpoint_every = 0 ->
+        let ck =
+          {
+            Resilience.Checkpoint.version = Resilience.Checkpoint.version;
+            fingerprint = config.fingerprint;
+            boundary = !boundary;
+            definition = List.rev !definition;
+            uncovered = indices_of ~positives !uncovered;
+            seeds_skipped = !seeds_skipped;
+            consecutive_skips = !consecutive_skips;
+            candidates_evaluated = Atomic.get candidates_evaluated;
+            rng = Random.State.copy rng;
+            counters = Budget.counters_to_assoc (Budget.counters budget);
+            elapsed_s = !base_elapsed +. (Unix.gettimeofday () -. t0);
+          }
+        in
+        let outcome = try sink ck with _ -> `Skipped in
+        Budget.hit budget
+          (match outcome with
+          | `Written -> Budget.Checkpoint_written
+          | `Skipped -> Budget.Checkpoint_skipped)
+    | _ -> ()
+  in
   (* Why the covering loop exited. Captured at the decision point rather
      than re-derived afterwards: a deadline elapsing a microsecond after
      natural completion must still read [Completed]. *)
@@ -605,7 +702,12 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
              incr seeds_skipped;
              incr consecutive_skips;
              uncovered := List.filter (fun e -> e != seed) !uncovered
-           end
+           end;
+           (* Clause boundary: one covering iteration (accept or skip) has
+              fully committed its state transition — exactly the points a
+              resumed run can re-enter bit-identically. *)
+           incr boundary;
+           emit_checkpoint ()
      done
    with Budget.Expired st ->
      (* nothing in this module raises it, but budget-aware callees may;
@@ -613,11 +715,14 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
      status := st);
   (match config.pool with
   | Some p ->
-      Budget.add budget Budget.Worker_fault
-        ((Parallel.Pool.stats p).dropped - faults_before)
+      let s = Parallel.Pool.stats p in
+      Budget.add budget Budget.Worker_fault (s.dropped - faults_before);
+      Budget.add budget Budget.Worker_restarted (s.restarts - restarts_before);
+      Budget.add budget Budget.Job_quarantined
+        (s.quarantined - quarantined_before)
   | None -> ());
   let degradation = Budget.degradation ~status:!status budget in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = !base_elapsed +. (Unix.gettimeofday () -. t0) in
   {
     definition = List.rev !definition;
     stats =

@@ -41,6 +41,31 @@ type config = {
           learned definition is identical for every pool size on a fixed
           seed — coverage testing is deterministic per example — so the
           pool only changes wall-clock time. *)
+  checkpoint : (Resilience.Checkpoint.t -> [ `Written | `Skipped ]) option;
+      (** sink invoked at clause boundaries (every [checkpoint_every]-th
+          covering iteration) with a complete snapshot of learner progress
+          — typically [Resilience.Checkpoint.save] partially applied to a
+          path. The snapshot hands the sink copies, so writing cannot
+          perturb the run; a raising sink counts as [`Skipped]. Outcomes
+          are tallied as [Budget.Checkpoint_written] /
+          [Budget.Checkpoint_skipped]. [None] (the default) disables
+          checkpointing. *)
+  checkpoint_every : int;
+      (** invoke the sink every [n]-th clause boundary (clamped to ≥ 1;
+          default 1 — every boundary) *)
+  fingerprint : string;
+      (** configuration fingerprint stamped into emitted checkpoints (see
+          {!Resilience.Checkpoint.validate}); [""] (the default) stamps
+          nothing *)
+  resume : Resilience.Checkpoint.t option;
+      (** continue a prior run from its snapshot. [positives] and
+          [negatives] must be the same lists in the same order as the
+          original run (the snapshot stores uncovered positives as indices
+          into [positives]); the restored RNG then replays the exact
+          continuation, so kill-at-boundary + resume is bit-identical to
+          the uninterrupted run at the same seed. Validate the checkpoint
+          with {!Resilience.Checkpoint.validate} first — [learn] trusts
+          it. *)
 }
 
 val default_config : config

@@ -6,15 +6,17 @@ type t = {
   degradation : Budget.degradation option;
   metrics : Metrics.snapshot;
   phases : Trace.summary_row list;
+  extra : (string * Json.t) list;
 }
 
-let make ~name ?(config = []) ?degradation () =
+let make ~name ?(config = []) ?degradation ?(extra = []) () =
   {
     name;
     config;
     degradation;
     metrics = Metrics.snapshot ();
     phases = Trace.summary_rows ();
+    extra;
   }
 
 let degradation_json (d : Budget.degradation) =
@@ -39,7 +41,7 @@ let phase_json (r : Trace.summary_row) =
 
 let to_json t =
   Json.Obj
-    [
+    ([
       ("name", Json.Str t.name);
       ("config", Json.Obj t.config);
       ( "degradation",
@@ -49,5 +51,6 @@ let to_json t =
       ("metrics", Metrics.to_json t.metrics);
       ("phases", Json.List (List.map phase_json t.phases));
     ]
+    @ t.extra)
 
 let write t path = Json.write path (to_json t)

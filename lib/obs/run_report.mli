@@ -12,14 +12,19 @@ type t = {
   degradation : Budget.degradation option;
   metrics : Metrics.snapshot;
   phases : Trace.summary_row list;
+  extra : (string * Json.t) list;
+      (** extra top-level report entries (chaos snapshot, pool quarantine,
+          CSV skip statistics, checkpoint info, ...) *)
 }
 
-(** [make ~name ?config ?degradation ()] snapshots the global metrics
-    registry and tracer now. *)
+(** [make ~name ?config ?degradation ?extra ()] snapshots the global
+    metrics registry and tracer now; [extra] entries are appended at the
+    top level of the JSON object. *)
 val make :
   name:string ->
   ?config:(string * Json.t) list ->
   ?degradation:Budget.degradation ->
+  ?extra:(string * Json.t) list ->
   unit ->
   t
 

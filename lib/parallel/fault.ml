@@ -1,55 +1,23 @@
 (** Seeded fault injection for the domain pool. See fault.mli.
 
-    Decisions hash (seed, salt, ticket) rather than drawing from a shared
-    [Random.State]: workers on different domains take tickets with one
-    [fetch_and_add], and the verdict for ticket [k] is a pure function of
-    the seed — the fault {e count} is reproducible even though which worker
-    draws which ticket is not. *)
+    Since the chaos layer grew registry-wide ({!Chaos}), this module is the
+    pool-facing alias: the injector type, the tick, and the historical
+    [AUTOBIAS_CHAOS] environment hook all delegate to {!Chaos}, so existing
+    call sites and test patterns ([Fault.Injected _]) keep working while
+    every layer of the stack shares one injection mechanism. *)
 
-type t = {
-  p_fault : float;
-  p_delay : float;
-  delay : float;
-  seed : int;
-  tickets : int Atomic.t;
-  injected : int Atomic.t;
-  delayed : int Atomic.t;
-}
+type t = Chaos.t
 
-exception Injected of int
+exception Injected = Chaos.Injected
 
-let clamp01 p = Float.min 1. (Float.max 0. p)
+let create ?p_fault ?p_delay ?delay ?p_kill ?seed () =
+  Chaos.create ?p_fault ?p_delay ?delay ?p_kill ?seed ()
 
-let create ?(p_fault = 0.) ?(p_delay = 0.) ?(delay = 0.001) ?(seed = 0) () =
-  {
-    p_fault = clamp01 p_fault;
-    p_delay = clamp01 p_delay;
-    delay = Float.max 0. delay;
-    seed;
-    tickets = Atomic.make 0;
-    injected = Atomic.make 0;
-    delayed = Atomic.make 0;
-  }
-
-(* Uniform-ish draw in [0, 1) from the low 24 bits of the structural hash;
-   [salt] decouples the delay and fault verdicts of one ticket. *)
-let draw t ~salt k =
-  float_of_int (Hashtbl.hash (t.seed, salt, k) land 0xFFFFFF) /. 16777216.
-
-let tick t =
-  let k = Atomic.fetch_and_add t.tickets 1 in
-  if draw t ~salt:1 k < t.p_delay then begin
-    Atomic.incr t.delayed;
-    Unix.sleepf t.delay
-  end;
-  if draw t ~salt:2 k < t.p_fault then begin
-    Atomic.incr t.injected;
-    raise (Injected k)
-  end
-
-let tickets t = Atomic.get t.tickets
-let injected t = Atomic.get t.injected
-let delayed t = Atomic.get t.delayed
+let tick = Chaos.tick
+let tickets = Chaos.tickets
+let injected = Chaos.injected
+let delayed = Chaos.delayed
+let killed = Chaos.killed
 
 let from_env ?(var = "AUTOBIAS_CHAOS") () =
   match Sys.getenv_opt var with
@@ -63,4 +31,9 @@ let from_env ?(var = "AUTOBIAS_CHAOS") () =
             Option.bind (Sys.getenv_opt "AUTOBIAS_CHAOS_SEED") int_of_string_opt
             |> Option.value ~default:0
           in
-          Some (create ~p_fault:p ~seed ()))
+          let p_kill =
+            Option.bind (Sys.getenv_opt "AUTOBIAS_CHAOS_KILL")
+              float_of_string_opt
+            |> Option.value ~default:0.
+          in
+          Some (create ~p_fault:p ~p_kill ~seed ()))

@@ -1,43 +1,60 @@
 (** Seeded fault injection for the domain pool (chaos testing).
 
     A [Fault.t] attached to a {!Pool} probabilistically raises {!Injected}
-    or sleeps before a queued task runs, driven by a counter-hashed seeded
-    decision — deterministic per (seed, ticket), independent of domain
-    scheduling, and safe to call from any worker domain (no shared
-    [Random.State]). Because {!Par} combinators treat pool tasks as pure
-    acceleration (the calling domain always drains the whole job itself), a
-    killed task loses parallelism, never results: the tests use this to
-    prove the learner survives worker faults and still terminates with the
-    identical definition. *)
+    (a survivable fault: the job is dropped and counted), raises
+    {!Chaos.Killed} (fatal: the worker domain dies and the pool's
+    supervisor takes over — restart, retry, quarantine), or sleeps before a
+    queued task runs, driven by a counter-hashed seeded decision —
+    deterministic per (seed, ticket), independent of domain scheduling, and
+    safe to call from any worker domain. Because {!Par} combinators treat
+    pool tasks as pure acceleration (the calling domain always drains the
+    whole job itself), a killed task loses parallelism, never results: the
+    tests use this to prove the learner survives worker faults and still
+    terminates with the identical definition.
 
-type t
+    This module is now an alias over the layer-wide {!Chaos} injector; it
+    remains the pool's named entry point. *)
+
+type t = Chaos.t
 
 exception Injected of int
-(** Raised by a firing fault; the payload is the ticket number. *)
+(** Raised by a firing fault; the payload is the ticket number. The same
+    exception as {!Chaos.Injected}. *)
 
-(** [create ?p_fault ?p_delay ?delay ?seed ()] — [p_fault] (default [0.])
-    is the probability a tick raises, [p_delay] (default [0.]) the
-    probability it first sleeps [delay] seconds (default [0.001]); [seed]
-    (default [0]) fixes every decision. Probabilities are clamped to
-    [\[0, 1\]]. *)
+(** [create ?p_fault ?p_delay ?delay ?p_kill ?seed ()] — [p_fault] (default
+    [0.]) is the probability a tick raises {!Injected}, [p_kill] (default
+    [0.]) the probability it raises {!Chaos.Killed} (worker death) instead,
+    [p_delay] (default [0.]) the probability it first sleeps [delay]
+    seconds (default [0.001]); [seed] (default [0]) fixes every decision.
+    Probabilities are clamped to [\[0, 1\]]. *)
 val create :
-  ?p_fault:float -> ?p_delay:float -> ?delay:float -> ?seed:int -> unit -> t
+  ?p_fault:float ->
+  ?p_delay:float ->
+  ?delay:float ->
+  ?p_kill:float ->
+  ?seed:int ->
+  unit ->
+  t
 
-(** [tick t] consumes one ticket: possibly sleeps, then possibly raises
-    {!Injected}. Thread-safe. *)
+(** [tick t] consumes one ticket: possibly sleeps, then possibly raises.
+    Thread-safe. *)
 val tick : t -> unit
 
 (** [tickets t] — ticks consumed so far. *)
 val tickets : t -> int
 
-(** [injected t] — ticks that raised. *)
+(** [injected t] — ticks that raised {!Injected}. *)
 val injected : t -> int
 
 (** [delayed t] — ticks that slept. *)
 val delayed : t -> int
 
+(** [killed t] — ticks that raised {!Chaos.Killed}. *)
+val killed : t -> int
+
 (** [from_env ?var ()] reads a fault probability from the environment
     (default variable [AUTOBIAS_CHAOS], seed from [AUTOBIAS_CHAOS_SEED],
-    default 0) — the hook the CI chaos job uses to run the whole test suite
-    under injection. [None] when unset, empty, unparsable, or [<= 0]. *)
+    worker-kill probability from [AUTOBIAS_CHAOS_KILL], both defaulting to
+    0) — the hook the CI chaos job uses to run the whole test suite under
+    injection. [None] when unset, empty, unparsable, or [<= 0]. *)
 val from_env : ?var:string -> unit -> t option

@@ -1,14 +1,24 @@
-(** Fixed-size domain pool. See pool.mli for the contract.
+(** Supervised fixed-size domain pool. See pool.mli for the contract.
 
-    One mutex guards the queue and the shutdown flag; workers sleep on a
-    condition variable when the queue is empty. Tasks are [unit -> unit]
-    thunks that should not raise: the {!Par} combinators carry per-item
-    exceptions back to the caller themselves, so anything escaping a task is
-    a harness bug or an injected fault. The worker loop survives either —
-    but never silently: drops are counted in an atomic, the first offender's
-    backtrace is kept and logged, and {!stats} exposes the tally so a run
-    can report nonzero worker-fault counters instead of quietly losing
-    domains.
+    One mutex guards the queue, the quarantine list and the shutdown flag;
+    workers sleep on a condition variable when the queue is empty. Tasks
+    are [unit -> unit] thunks that should not raise: the {!Par}
+    combinators carry per-item exceptions back to the caller themselves,
+    so anything escaping a task is a harness bug or an injected fault. The
+    worker loop survives ordinary escapees — never silently: drops are
+    counted in an atomic, the first offender's backtrace is kept and
+    logged, and {!stats} exposes the tally.
+
+    {!Chaos.Killed} is the one exception treated as {e worker death}: the
+    dying worker hands its task back (retry on another worker, or
+    quarantine with the backtrace once the task has killed
+    [policy.job_retries] workers), then — bounded by
+    [policy.worker_restarts] and after a seeded exponential backoff —
+    spawns its own replacement domain at the same worker index. The pool
+    therefore keeps its full width through worker crashes instead of
+    silently running narrower until shutdown; when the restart budget is
+    exhausted it degrades to fewer workers, and {!Par} callers still drain
+    every job themselves, so results are never lost either way.
 
     Observability: each queued task carries its enqueue timestamp, so the
     worker that dequeues it can attribute queue-wait vs. run time (the
@@ -22,7 +32,19 @@
 
 type fault = { exn : exn; backtrace : Printexc.raw_backtrace }
 
-type task = { run : unit -> unit; enqueued_at : float }
+type quarantine = {
+  job_id : int;
+  attempts : int;
+  exn : string;
+  backtrace : string;
+}
+
+type task = {
+  run : unit -> unit;
+  enqueued_at : float;
+  id : int;
+  mutable kills : int;  (** workers this task has taken down so far *)
+}
 
 type t = {
   size : int;
@@ -32,16 +54,23 @@ type t = {
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   chaos : Fault.t option;
+  policy : Resilience.Policy.t;
   tasks_run : int Atomic.t;
   dropped : int Atomic.t;
+  restarts : int Atomic.t;
+  quarantined : int Atomic.t;
+  next_id : int Atomic.t;
   per_worker : int Atomic.t array;  (** jobs completed, by worker index *)
   mutable first_fault : fault option;  (** guarded by [lock] *)
+  mutable quarantine : quarantine list;  (** guarded by [lock], newest first *)
 }
 
 type stats = {
   size : int;
   tasks_run : int;
   dropped : int;
+  restarts : int;
+  quarantined : int;
   queue_depth : int;
   per_worker : int array;
 }
@@ -56,6 +85,8 @@ let m_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
 let m_queue_wait = Obs.Metrics.histogram "pool.queue_wait_s"
 let m_task_run = Obs.Metrics.histogram "pool.task_run_s"
 let m_tasks = Obs.Metrics.counter "pool.tasks_run"
+let m_restarts = Obs.Metrics.counter "pool.worker_restarts"
+let m_quarantined = Obs.Metrics.counter "pool.jobs_quarantined"
 
 let note_fault (t : t) e =
   let backtrace = Printexc.get_raw_backtrace () in
@@ -69,7 +100,63 @@ let note_fault (t : t) e =
         m "Parallel.Pool: worker dropped %s@.%s" (Printexc.to_string e)
           (Printexc.raw_backtrace_to_string backtrace))
 
-let worker_loop t w () =
+(* Worker death: retry-or-quarantine the poisoned task, then (policy and
+   shutdown permitting) respawn a replacement domain at the same index.
+   Runs on the dying domain itself, which then returns cleanly — so
+   [Domain.join] at shutdown never re-raises. *)
+let rec die t w task e bt =
+  note_fault t e;
+  Mutex.lock t.lock;
+  task.kills <- task.kills + 1;
+  if task.kills >= max 1 t.policy.Resilience.Policy.job_retries then begin
+    t.quarantine <-
+      {
+        job_id = task.id;
+        attempts = task.kills;
+        exn = Printexc.to_string e;
+        backtrace = Printexc.raw_backtrace_to_string bt;
+      }
+      :: t.quarantine;
+    Atomic.incr t.quarantined;
+    Obs.Metrics.bump m_quarantined;
+    Logs.warn (fun m ->
+        m "Parallel.Pool: job %d quarantined after killing %d workers (%s)"
+          task.id task.kills (Printexc.to_string e))
+  end
+  else begin
+    Queue.push task t.queue;
+    Condition.signal t.nonempty
+  end;
+  (* Reserve the restart slot under the lock so concurrent deaths cannot
+     oversubscribe the budget; the backoff sleep and the spawn run outside
+     it (the spawn re-checks [stopping]). *)
+  let restart_no =
+    if t.stopping || Atomic.get t.restarts >= t.policy.Resilience.Policy.worker_restarts
+    then None
+    else begin
+      Atomic.incr t.restarts;
+      Some (Atomic.get t.restarts)
+    end
+  in
+  Mutex.unlock t.lock;
+  match restart_no with
+  | None ->
+      Logs.warn (fun m ->
+          m "Parallel.Pool: worker %d died and the restart budget is spent; \
+             pool continues with fewer workers" w)
+  | Some n ->
+      Obs.Metrics.bump m_restarts;
+      Unix.sleepf
+        (Resilience.Policy.backoff t.policy ~attempt:(min n 16) ~salt:(Hashtbl.hash (w, n)));
+      Mutex.lock t.lock;
+      if t.stopping then Mutex.unlock t.lock
+      else begin
+        let d = Domain.spawn (worker_loop t w) in
+        t.workers <- d :: t.workers;
+        Mutex.unlock t.lock
+      end
+
+and worker_loop t w () =
   let rec loop () =
     Mutex.lock t.lock;
     while Queue.is_empty t.queue && not t.stopping do
@@ -89,25 +176,34 @@ let worker_loop t w () =
          and sum(per_worker) = tasks_run *)
       Atomic.incr t.per_worker.(w);
       Obs.Metrics.bump m_tasks;
-      Obs.Trace.span ~cat:"pool"
-        ~args:
-          [
-            ("worker", string_of_int w);
-            ("queue_wait_us", Printf.sprintf "%.1f" (wait *. 1e6));
-          ]
-        "pool_task"
-        (fun () ->
-          try
-            (match t.chaos with Some f -> Fault.tick f | None -> ());
-            task.run ()
-          with e -> note_fault t e);
+      let outcome =
+        Obs.Trace.span ~cat:"pool"
+          ~args:
+            [
+              ("worker", string_of_int w);
+              ("queue_wait_us", Printf.sprintf "%.1f" (wait *. 1e6));
+            ]
+          "pool_task"
+          (fun () ->
+            try
+              (match t.chaos with Some f -> Fault.tick f | None -> ());
+              task.run ();
+              `Ok
+            with
+            | Chaos.Killed _ as e -> `Died (e, Printexc.get_raw_backtrace ())
+            | e ->
+                note_fault t e;
+                `Ok)
+      in
       Obs.Metrics.observe m_task_run (Budget.now () -. dequeued_at);
-      loop ()
+      match outcome with
+      | `Ok -> loop ()
+      | `Died (e, bt) -> die t w task e bt
     end
   in
   loop ()
 
-let create ?size ?chaos () =
+let create ?size ?chaos ?(policy = Resilience.Policy.default) () =
   let size = clamp (Option.value size ~default:(default_size ())) in
   let t =
     {
@@ -118,10 +214,15 @@ let create ?size ?chaos () =
       stopping = false;
       workers = [];
       chaos;
+      policy;
       tasks_run = Atomic.make 0;
       dropped = Atomic.make 0;
+      restarts = Atomic.make 0;
+      quarantined = Atomic.make 0;
+      next_id = Atomic.make 0;
       per_worker = Array.init size (fun _ -> Atomic.make 0);
       first_fault = None;
+      quarantine = [];
     }
   in
   t.workers <- List.init size (fun w -> Domain.spawn (worker_loop t w));
@@ -137,6 +238,8 @@ let stats (t : t) =
     size = t.size;
     tasks_run = Atomic.get t.tasks_run;
     dropped = Atomic.get t.dropped;
+    restarts = Atomic.get t.restarts;
+    quarantined = Atomic.get t.quarantined;
     queue_depth;
     per_worker = Array.map Atomic.get t.per_worker;
   }
@@ -147,8 +250,21 @@ let first_fault t =
   Mutex.unlock t.lock;
   f
 
+let quarantine_records t =
+  Mutex.lock t.lock;
+  let q = t.quarantine in
+  Mutex.unlock t.lock;
+  List.rev q
+
 let submit t task =
-  let task = { run = task; enqueued_at = Budget.now () } in
+  let task =
+    {
+      run = task;
+      enqueued_at = Budget.now ();
+      id = Atomic.fetch_and_add t.next_id 1;
+      kills = 0;
+    }
+  in
   Mutex.lock t.lock;
   if t.stopping then begin
     Mutex.unlock t.lock;
@@ -166,8 +282,11 @@ let shutdown t =
   t.workers <- [];
   Condition.broadcast t.nonempty;
   Mutex.unlock t.lock;
+  (* Respawns append to [t.workers] under the lock before [stopping] is
+     set, so this list holds every domain ever spawned for the pool —
+     terminated ones join immediately. *)
   List.iter Domain.join workers
 
-let with_pool ?size ?chaos f =
-  let t = create ?size ?chaos () in
+let with_pool ?size ?chaos ?policy f =
+  let t = create ?size ?chaos ?policy () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

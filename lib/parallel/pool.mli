@@ -1,4 +1,5 @@
-(** A fixed-size pool of worker domains (OCaml 5 shared-memory parallelism).
+(** A supervised fixed-size pool of worker domains (OCaml 5 shared-memory
+    parallelism).
 
     The pool is created once and reused across the whole run: spawning a
     domain costs hundreds of microseconds, far more than one coverage test,
@@ -7,31 +8,48 @@
 
     Tasks should not raise — higher-level combinators ({!Par}) wrap user
     functions and carry exceptions back to the caller themselves. An
-    exception that escapes a task anyway (a harness bug, or an injected
-    {!Fault}) does not kill the worker: it is counted, the first one's
-    backtrace is logged and kept for {!first_fault}, and the tally is
-    visible in {!stats} — faults are survived loudly, never silently. *)
+    ordinary exception that escapes a task anyway (a harness bug, or an
+    injected {!Fault}) does not kill the worker: it is counted, the first
+    one's backtrace is logged and kept for {!first_fault}, and the tally is
+    visible in {!stats} — faults are survived loudly, never silently.
+
+    {!Chaos.Killed} is different: it takes the worker domain down, and the
+    supervision {!Resilience.Policy} takes over — the task is retried on another
+    worker, or {e quarantined} with its backtrace once it has killed
+    [job_retries] workers; the dead domain is replaced (after seeded
+    exponential backoff, up to [worker_restarts] times per pool), so the
+    pool keeps its width through crashes instead of quietly narrowing. *)
 
 type t
 
 type fault = { exn : exn; backtrace : Printexc.raw_backtrace }
 
+type quarantine = {
+  job_id : int;  (** submission id of the poisoned task *)
+  attempts : int;  (** workers it took down before quarantine *)
+  exn : string;  (** printed final exception *)
+  backtrace : string;  (** backtrace of the final death *)
+}
+
 type stats = {
   size : int;  (** worker domains *)
   tasks_run : int;  (** tasks dequeued by workers so far *)
   dropped : int;  (** tasks whose exception the pool had to drop *)
+  restarts : int;  (** worker domains respawned after a fatal fault *)
+  quarantined : int;  (** jobs quarantined after repeated worker kills *)
   queue_depth : int;  (** tasks currently waiting in the queue *)
   per_worker : int array;
       (** tasks dequeued per worker, by spawn index — the utilization view;
           sums to [tasks_run] once submitted work has finished *)
 }
 
-(** [create ?size ?chaos ()] spawns [size] worker domains. [size] defaults
-    to [Domain.recommended_domain_count () - 1] (the caller's domain
-    participates in {!Par} jobs, so [n] workers saturate [n + 1] cores) and
-    is clamped to [\[1, 128\]]. [chaos] injects seeded faults/delays before
-    each task runs (testing only). *)
-val create : ?size:int -> ?chaos:Fault.t -> unit -> t
+(** [create ?size ?chaos ?policy ()] spawns [size] worker domains. [size]
+    defaults to [Domain.recommended_domain_count () - 1] (the caller's
+    domain participates in {!Par} jobs, so [n] workers saturate [n + 1]
+    cores) and is clamped to [\[1, 128\]]. [chaos] injects seeded
+    faults/delays/kills before each task runs (testing only). [policy]
+    (default {!Resilience.Policy.default}) governs restart/retry/quarantine. *)
+val create : ?size:int -> ?chaos:Fault.t -> ?policy:Resilience.Policy.t -> unit -> t
 
 (** [size t] is the number of worker domains. *)
 val size : t -> int
@@ -43,6 +61,10 @@ val stats : t -> stats
     backtrace), if any — kept so a crash is diagnosable after the fact. *)
 val first_fault : t -> fault option
 
+(** [quarantine_records t] lists quarantined jobs, oldest first — surfaced
+    into the run report so a poisoned input is auditable after the run. *)
+val quarantine_records : t -> quarantine list
+
 (** [default_size ()] is the size {!create} picks when none is given. *)
 val default_size : unit -> int
 
@@ -50,10 +72,11 @@ val default_size : unit -> int
     [Invalid_argument] if the pool was shut down. *)
 val submit : t -> (unit -> unit) -> unit
 
-(** [shutdown t] drains the queue, joins every worker and frees the pool.
-    Idempotent. Submitting after shutdown raises. *)
+(** [shutdown t] drains the queue, joins every worker (including respawned
+    ones) and frees the pool. Idempotent. Submitting after shutdown
+    raises. *)
 val shutdown : t -> unit
 
-(** [with_pool ?size ?chaos f] runs [f pool] and shuts the pool down
-    afterwards, also on exceptions. *)
-val with_pool : ?size:int -> ?chaos:Fault.t -> (t -> 'a) -> 'a
+(** [with_pool ?size ?chaos ?policy f] runs [f pool] and shuts the pool
+    down afterwards, also on exceptions. *)
+val with_pool : ?size:int -> ?chaos:Fault.t -> ?policy:Resilience.Policy.t -> (t -> 'a) -> 'a

@@ -31,6 +31,51 @@ let () =
 (* Internal, carries only the message; the parser loop attaches file/line. *)
 exception Bad_row of string
 
+(* {2 Skip statistics}
+
+   Rows dropped under [`Skip] used to vanish silently; now every drop is
+   tallied in a process-global registry keyed by the file name ("<string>"
+   for in-memory parses), keeping the count and the first offending
+   (line, message) per file. The run report surfaces the registry, so a
+   quietly lossy load is visible after the fact. Mutex-guarded: loads can
+   run from pool workers. *)
+
+type skip_stats = {
+  rows_skipped : int;
+  first_bad : (int * string) option;  (** (1-based line, message) *)
+}
+
+let skip_lock = Mutex.create ()
+let skip_tbl : (string, skip_stats) Hashtbl.t = Hashtbl.create 8
+
+let note_skip ~file ~line ~message =
+  let key = Option.value file ~default:"<string>" in
+  Mutex.lock skip_lock;
+  let prev =
+    Option.value (Hashtbl.find_opt skip_tbl key)
+      ~default:{ rows_skipped = 0; first_bad = None }
+  in
+  Hashtbl.replace skip_tbl key
+    {
+      rows_skipped = prev.rows_skipped + 1;
+      first_bad =
+        (match prev.first_bad with
+        | Some _ as fb -> fb
+        | None -> Some (line, message));
+    };
+  Mutex.unlock skip_lock
+
+let skip_stats () =
+  Mutex.lock skip_lock;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) skip_tbl [] in
+  Mutex.unlock skip_lock;
+  List.sort compare l
+
+let reset_skip_stats () =
+  Mutex.lock skip_lock;
+  Hashtbl.reset skip_tbl;
+  Mutex.unlock skip_lock
+
 let split_line line =
   let buf = Buffer.create 16 in
   let fields = ref [] in
@@ -99,22 +144,29 @@ let parse_string ?(on_error = `Fail) ?file ~schema contents =
   |> List.iteri (fun i line ->
          let line = String.trim line in
          if line <> "" then
-           match
-             let fields = split_line line in
-             let t = Array.of_list (List.map Value.of_string fields) in
-             if Array.length t <> Schema.arity schema then
-               raise
-                 (Bad_row
-                    (Printf.sprintf "arity mismatch in %s (got %d, want %d): %s"
-                       schema.Schema.rel_name (Array.length t)
-                       (Schema.arity schema) line));
-             t
-           with
-           | t -> Relation.add r t
-           | exception Bad_row message -> (
-               match on_error with
-               | `Skip -> ()
-               | `Fail -> raise (Error { file; line = i + 1; message })));
+           (* The "csv" chaos layer drops rows like an I/O hiccup would —
+              recorded as a skip under either error policy (a chaos run
+              must degrade loudly, not abort), never as a parse failure. *)
+           if Chaos.fires "csv" then
+             note_skip ~file ~line:(i + 1) ~message:"chaos: injected row fault"
+           else
+             match
+               let fields = split_line line in
+               let t = Array.of_list (List.map Value.of_string fields) in
+               if Array.length t <> Schema.arity schema then
+                 raise
+                   (Bad_row
+                      (Printf.sprintf
+                         "arity mismatch in %s (got %d, want %d): %s"
+                         schema.Schema.rel_name (Array.length t)
+                         (Schema.arity schema) line));
+               t
+             with
+             | t -> Relation.add r t
+             | exception Bad_row message -> (
+                 match on_error with
+                 | `Skip -> note_skip ~file ~line:(i + 1) ~message
+                 | `Fail -> raise (Error { file; line = i + 1; message })));
   r
 
 (** [load ?on_error ~schema path] reads the file at [path] as the instance of

@@ -18,6 +18,22 @@ exception Error of error
 (** [error_to_string e] — ["file:line: message"], grep-friendly. *)
 val error_to_string : error -> string
 
+type skip_stats = {
+  rows_skipped : int;  (** rows dropped under [`Skip] (or by chaos) *)
+  first_bad : (int * string) option;
+      (** 1-based line and message of the first dropped row *)
+}
+
+(** [skip_stats ()] — per-file drop tallies accumulated by [`Skip]-policy
+    parses (and the ["csv"] chaos layer) since the last reset, sorted by
+    file name (["<string>"] for in-memory parses). The run report embeds
+    this so silently-skipped rows are visible after the fact. *)
+val skip_stats : unit -> (string * skip_stats) list
+
+(** [reset_skip_stats ()] clears the registry (test isolation / run
+    scoping). *)
+val reset_skip_stats : unit -> unit
+
 (** [parse_string ?on_error ?file ~schema contents] parses CSV [contents]
     into an instance of [schema]. Malformed rows (arity mismatch,
     unterminated quote, stray quote) raise {!Error} under [`Fail] (the

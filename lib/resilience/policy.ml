@@ -1,0 +1,37 @@
+(** Supervision policy: bounded restarts, bounded per-job retries, and
+    exponential backoff with seeded jitter. See policy.mli. *)
+
+type t = {
+  worker_restarts : int;
+  job_retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    worker_restarts = 64;
+    job_retries = 2;
+    backoff_base_s = 0.005;
+    backoff_max_s = 0.5;
+    jitter = 0.25;
+    seed = 0;
+  }
+
+(* Same hashed-draw scheme as {!Chaos}: the jitter for (attempt, salt) is a
+   pure function of the policy seed, so supervised runs stay reproducible
+   and two workers restarting at the same attempt count do not thunder in
+   lockstep (their salts differ). *)
+let jitter_draw t ~salt attempt =
+  float_of_int (Hashtbl.hash (t.seed, salt, attempt) land 0xFFFFFF) /. 16777216.
+
+let backoff t ~attempt ~salt =
+  let attempt = max 1 attempt in
+  let base =
+    Float.min t.backoff_max_s
+      (t.backoff_base_s *. Float.pow 2. (float_of_int (attempt - 1)))
+  in
+  let u = jitter_draw t ~salt attempt in
+  Float.max 0. (base *. (1. +. (t.jitter *. (u -. 0.5))))

@@ -1,0 +1,37 @@
+(** Supervision policy for the resilient runtime: how many times crashed
+    worker domains are restarted, how many worker deaths a single job may
+    cause before it is quarantined, and the backoff curve a replacement
+    worker waits on before spawning.
+
+    The pool consults this when a worker domain dies to a fatal fault
+    ({!Chaos.Killed}): the poisoned job is retried on another worker up to
+    [job_retries] attempts, then quarantined with its backtrace; the dead
+    domain is replaced (up to [worker_restarts] times per pool) after an
+    exponential-backoff delay with {e seeded} jitter — deterministic given
+    the policy seed, so supervised runs remain reproducible. *)
+
+type t = {
+  worker_restarts : int;
+      (** pool-lifetime cap on worker-domain respawns; once exhausted the
+          pool degrades to fewer workers instead of crashing (the caller's
+          domain always drains outstanding work itself) *)
+  job_retries : int;
+      (** worker deaths one job may cause before quarantine; the default 2
+          means "a job that kills its worker twice is quarantined" *)
+  backoff_base_s : float;  (** delay before the first respawn *)
+  backoff_max_s : float;  (** backoff growth cap *)
+  jitter : float;
+      (** relative jitter amplitude: the delay is scaled by
+          [1 + jitter * (u - 0.5)] with a seeded [u] in [0, 1) *)
+  seed : int;  (** fixes every jitter draw *)
+}
+
+(** 64 restarts, 2 retries, 5ms base doubling to a 500ms cap, ±12.5%
+    jitter, seed 0. *)
+val default : t
+
+(** [backoff t ~attempt ~salt] is the delay before respawn number
+    [attempt] (1-based; clamped up to 1): exponential in [attempt], capped
+    at [backoff_max_s], jittered deterministically by (seed, salt,
+    attempt). [salt] decorrelates concurrent restarters. *)
+val backoff : t -> attempt:int -> salt:int -> float

@@ -122,6 +122,10 @@ let stratified_sample ~rng ~rel ~pos ~known ~size ~constant_positions =
     otherwise. *)
 let sample strategy ~rng ~rel ~pos ~known ~size ~constant_positions =
   Obs.Trace.span ~cat:"sampling" "sample" @@ fun () ->
+  (* "sampling" chaos: an absorbed hiccup — counted in the injector's
+     snapshot, the draw itself proceeds normally (sampling has no partial
+     state to lose, so degrade-not-crash here means "carry on"). *)
+  ignore (Chaos.fires "sampling");
   if Obs.Trace.enabled () then begin
     Obs.Trace.arg "strategy" (to_string strategy);
     Obs.Trace.arg "relation" (Relation.name rel)

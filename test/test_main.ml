@@ -15,5 +15,6 @@ let () =
       ("properties", Test_properties.suite);
       ("compiled", Test_compiled.suite);
       ("robustness", Test_robustness.suite);
+      ("resilience", Test_resilience.suite);
       ("regressions", Test_regressions.suite);
     ]

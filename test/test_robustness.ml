@@ -87,14 +87,15 @@ let all_events =
     [ Subsumption_try; Subsumption_restart; Subsumption_exhausted;
       Coverage_truncated; Coverage_memo_hit; Coverage_memo_miss;
       Coverage_inherited; Beam_cut; Candidate_abandoned; Job_skipped;
-      Worker_fault ]
+      Worker_fault; Worker_restarted; Job_quarantined; Checkpoint_written;
+      Checkpoint_skipped ]
 
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"Budget counters are monotone under any events"
          ~count:200
-         QCheck.(list (pair (int_bound 10) (int_bound 5)))
+         QCheck.(list (pair (int_bound 14) (int_bound 5)))
          (fun events ->
            let b = Budget.create () in
            let prev = ref (Budget.counters b) in
@@ -224,6 +225,67 @@ let fault_tests =
               (match Pool.first_fault p with
               | Some { Pool.exn = Fault.Injected _; _ } -> true
               | _ -> false)));
+    Alcotest.test_case "supervision restarts a killed worker" `Quick (fun () ->
+        (* size-1 pool, raw tasks (Par wraps exceptions itself, so only a
+           raw task can kill a worker): the one worker dies once,
+           supervision respawns it, the poisoned task is retried on the
+           replacement, and every task still completes. *)
+        Pool.with_pool ~size:1 (fun p ->
+            let killed_once = Atomic.make false in
+            let completed = Atomic.make 0 in
+            for i = 0 to 19 do
+              Pool.submit p (fun () ->
+                  if i = 3 && not (Atomic.exchange killed_once true) then
+                    raise (Chaos.Killed 0);
+                  Atomic.incr completed)
+            done;
+            let rec settle tries =
+              if Atomic.get completed >= 20 || tries = 0 then ()
+              else begin
+                Unix.sleepf 0.01;
+                settle (tries - 1)
+              end
+            in
+            settle 1000;
+            Alcotest.(check int) "every task completed (poisoned one retried)"
+              20 (Atomic.get completed);
+            let s = Pool.stats p in
+            Alcotest.(check int) "one restart" 1 s.Pool.restarts;
+            Alcotest.(check int) "nothing quarantined" 0 s.Pool.quarantined));
+    Alcotest.test_case "a poisoned job is quarantined with its backtrace"
+      `Quick (fun () ->
+        Pool.with_pool ~size:1
+          ~policy:{ Resilience.Policy.default with job_retries = 2 }
+          (fun p ->
+            let completed = Atomic.make 0 in
+            (* always-fatal task: kills its worker twice, then quarantine *)
+            Pool.submit p (fun () -> raise (Chaos.Killed 0));
+            for _ = 1 to 10 do
+              Pool.submit p (fun () -> Atomic.incr completed)
+            done;
+            let rec settle tries =
+              let s = Pool.stats p in
+              if (Atomic.get completed >= 10 && s.Pool.quarantined >= 1)
+                 || tries = 0
+              then s
+              else begin
+                Unix.sleepf 0.01;
+                settle (tries - 1)
+              end
+            in
+            let s = settle 1000 in
+            Alcotest.(check int) "healthy tasks all completed" 10
+              (Atomic.get completed);
+            Alcotest.(check int) "quarantined once" 1 s.Pool.quarantined;
+            Alcotest.(check int) "killed job_retries workers" 2 s.Pool.restarts;
+            match Pool.quarantine_records p with
+            | [ q ] ->
+                Alcotest.(check int) "attempts recorded" 2 q.Pool.attempts;
+                Alcotest.(check bool) "exception printed" true
+                  (String.length q.Pool.exn > 0)
+            | q ->
+                Alcotest.failf "expected 1 quarantine record, got %d"
+                  (List.length q)));
   ]
 
 (* ---------------- the anytime learner ---------------- *)

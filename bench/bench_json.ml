@@ -29,7 +29,17 @@ let set_report json = report := Some json
 let record experiment metrics =
   records := !records @ [ (experiment, metrics) ]
 
-let set_meta metrics = meta := !meta @ metrics
+(* Replace-by-key: re-recording a key overwrites its value in place (first
+   position wins) instead of emitting a duplicate JSON key — the driver
+   re-sets "experiments" after the run loop with what actually completed. *)
+let set_meta metrics =
+  List.iter
+    (fun (k, v) ->
+      if List.mem_assoc k !meta then
+        meta :=
+          List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) !meta
+      else meta := !meta @ [ (k, v) ])
+    metrics
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in

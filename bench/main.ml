@@ -585,9 +585,13 @@ let coverage_bench () =
   let run ?pool ?(use_compiled = true) use_cache =
     let b = Budget.create () in
     let rng = Random.State.make [| options.seed; 3 |] in
+    (* pruning off: the A/Bs below compare subsumption-try counts between
+       memo on/off and compiled/symbolic; the failure-constraint store
+       (compiled-only) would skew both comparisons. It gets its own
+       experiment ("pruning"). *)
     let cov =
-      Learning.Coverage.create ~use_cache ~use_compiled d.Dataset.db
-        d.Dataset.manual_bias ~rng
+      Learning.Coverage.create ~use_cache ~use_compiled ~use_pruning:false
+        d.Dataset.db d.Dataset.manual_bias ~rng
     in
     let config =
       { Learning.Learn.default_config with
@@ -678,8 +682,10 @@ let coverage_bench () =
      log-bucketed and shared between the two passes, so it cannot give an
      honest A/B. *)
   let mk_uncached use_compiled =
-    Learning.Coverage.create ~use_cache:false ~use_compiled d.Dataset.db
-      d.Dataset.manual_bias
+    (* pruning off: the back-to-back eval pairs below must both be real
+       evaluations, not a prune-store probe answering the second one *)
+    Learning.Coverage.create ~use_cache:false ~use_compiled
+      ~use_pruning:false d.Dataset.db d.Dataset.manual_bias
       ~rng:(Random.State.make [| options.seed; 3 |])
   in
   let examples = positives @ negatives in
@@ -771,6 +777,95 @@ let coverage_bench () =
       ("uw.eval_p95_speedup", Bench_json.F (p95_s /. Float.max p95_c 1e-9)) ]
 
 (* ------------------------------------------------------------------ *)
+(* Pruning: the failure-constraint store A/B (prune on vs off).       *)
+(* ------------------------------------------------------------------ *)
+
+(* The same fixed-seed full-learner run with the failure-constraint store
+   on and off. A stored signature is an exact verdict cache (the prefix up
+   to and including the blocking literal determines the capped evaluator's
+   verdict), so pruning is verdict-preserving: the definitions must be
+   bit-identical, sequentially and under a 2-domain pool. What the store
+   buys is fewer subsumption tries — uw.tries_ratio = tries(on)/tries(off),
+   gated at ≤ 0.8 in CI — plus whole candidates skipped without any
+   evaluation (Budget.Candidate_pruned). *)
+
+let pruning_bench () =
+  hr ();
+  Fmt.pr "Pruning — failure-constraint store A/B (prune on/off)@.";
+  Fmt.pr "same seed, same learner; definitions must be bit-identical@.";
+  hr ();
+  let d = generate "uw" in
+  let positives = d.Dataset.positives and negatives = d.Dataset.negatives in
+  let run ?pool use_pruning =
+    let b = Budget.create () in
+    let rng = Random.State.make [| options.seed; 3 |] in
+    let cov =
+      Learning.Coverage.create ~use_pruning d.Dataset.db d.Dataset.manual_bias
+        ~rng
+    in
+    let config =
+      { Learning.Learn.default_config with
+        timeout = Some options.timeout; budget = Some b; pool }
+    in
+    let r, elapsed =
+      Obs.Trace.time (fun () ->
+          Learning.Learn.learn ~config cov ~rng ~positives ~negatives)
+    in
+    (r, elapsed, Budget.counters b, Learning.Coverage.prune_stats cov)
+  in
+  let rp, tp, cp, sp = run true in
+  let ru, tu, cu, _ = run false in
+  let render def = Logic.Clause.definition_to_string def in
+  let identical =
+    render rp.Learning.Learn.definition = render ru.Learning.Learn.definition
+  in
+  let r2, _, _, _ = Parallel.Pool.with_pool ~size:2 (fun p -> run ~pool:p true) in
+  let identical_pool =
+    render rp.Learning.Learn.definition = render r2.Learning.Learn.definition
+  in
+  let tries_ratio =
+    if cu.Budget.subsumption_tries = 0 then 1.
+    else
+      float_of_int cp.Budget.subsumption_tries
+      /. float_of_int cu.Budget.subsumption_tries
+  in
+  let hit_rate =
+    if sp.Learning.Coverage.probes = 0 then 0.
+    else
+      float_of_int sp.Learning.Coverage.hits
+      /. float_of_int sp.Learning.Coverage.probes
+  in
+  Fmt.pr "prune on : %8.3fs  %7d subsumption tries  %5d candidates pruned@."
+    tp cp.Budget.subsumption_tries cp.Budget.candidates_pruned;
+  Fmt.pr "prune off: %8.3fs  %7d subsumption tries@." tu
+    cu.Budget.subsumption_tries;
+  Fmt.pr
+    "store: %d constraints learned; %d/%d probe hits (%.1f%%); tries ratio \
+     on/off %.2fx; wall speedup %.2fx@."
+    sp.Learning.Coverage.constraints sp.Learning.Coverage.hits
+    sp.Learning.Coverage.probes (100. *. hit_rate) tries_ratio (tu /. tp);
+  Fmt.pr "definitions identical: %s (sequential) / %s (2-domain pool), %d clauses@."
+    (if identical then "YES" else "NO -- SOUNDNESS BUG")
+    (if identical_pool then "YES" else "NO -- SOUNDNESS BUG")
+    (List.length rp.Learning.Learn.definition);
+  Bench_json.record "pruning"
+    [ ("uw.pruned_s", Bench_json.F tp);
+      ("uw.unpruned_s", Bench_json.F tu);
+      ("uw.prune_speedup", Bench_json.F (tu /. tp));
+      ("uw.pruned_tries", Bench_json.I cp.Budget.subsumption_tries);
+      ("uw.unpruned_tries", Bench_json.I cu.Budget.subsumption_tries);
+      ("uw.tries_ratio", Bench_json.F tries_ratio);
+      ("uw.candidates_pruned", Bench_json.I cp.Budget.candidates_pruned);
+      ("uw.constraints_learned", Bench_json.I cp.Budget.constraints_learned);
+      ("uw.prune_probes", Bench_json.I sp.Learning.Coverage.probes);
+      ("uw.prune_hits", Bench_json.I sp.Learning.Coverage.hits);
+      ("uw.prune_hit_rate", Bench_json.F hit_rate);
+      ("uw.prune_constraints", Bench_json.I sp.Learning.Coverage.constraints);
+      ("uw.clauses", Bench_json.I (List.length rp.Learning.Learn.definition));
+      ("uw.prune_identical",
+       Bench_json.B (identical && identical_pool)) ]
+
+(* ------------------------------------------------------------------ *)
 (* Scaling: the beam-evaluation workload across domain-pool sizes.    *)
 (* ------------------------------------------------------------------ *)
 
@@ -796,8 +891,8 @@ let scaling () =
      table probes instead of parallel subsumption. The memo's own effect is
      measured separately at the end. *)
   let cov =
-    Learning.Coverage.create ~use_cache:false d.Dataset.db
-      d.Dataset.manual_bias ~rng
+    Learning.Coverage.create ~use_cache:false ~use_pruning:false
+      d.Dataset.db d.Dataset.manual_bias ~rng
   in
   let positives = d.Dataset.positives and negatives = d.Dataset.negatives in
   let examples = positives @ negatives in
@@ -899,9 +994,11 @@ let scaling () =
   let memo_tries use_cache =
     let b = Budget.create () in
     let rng = Random.State.make [| options.seed |] in
+    (* pruning off: repeat passes would otherwise be answered by the
+       failure-constraint store, contaminating the memo's off/on ratio *)
     let cov =
-      Learning.Coverage.create ~use_cache ~budget:b d.Dataset.db
-        d.Dataset.manual_bias ~rng
+      Learning.Coverage.create ~use_cache ~use_pruning:false ~budget:b
+        d.Dataset.db d.Dataset.manual_bias ~rng
     in
     Learning.Coverage.warm cov examples;
     let counts = ref [] in
@@ -1156,6 +1253,7 @@ let experiments =
     ("ablation-overlap", ablation_overlap);
     ("ablation-noise", ablation_noise);
     ("coverage", coverage_bench);
+    ("pruning", pruning_bench);
     ("scaling", scaling);
     ("resilience", resilience_bench);
     ("micro", micro);
@@ -1239,12 +1337,21 @@ let () =
        | None -> Bench_json.S "sequential");
       ("cores_recommended", Bench_json.I (Domain.recommended_domain_count ()));
       ("experiments", Bench_json.S (String.concat "," chosen)) ];
+  let completed = ref [] in
   let (), total =
     Obs.Trace.time (fun () ->
-        (* One span per experiment: the trace's top-level rows. *)
+        (* One span per experiment: the trace's top-level rows. A failing
+           experiment is reported and skipped so the rest still run — and
+           so the meta's "experiments" lists what actually completed. *)
         List.iter
           (fun name ->
-            Obs.Trace.span ~cat:"bench" name (List.assoc name experiments))
+            match
+              Obs.Trace.span ~cat:"bench" name (List.assoc name experiments)
+            with
+            | () -> completed := name :: !completed
+            | exception e ->
+                Fmt.epr "!! experiment %s failed: %s@." name
+                  (Printexc.to_string e))
           chosen;
         match !the_pool with
         | Some p ->
@@ -1262,7 +1369,12 @@ let () =
   | Some b ->
       Fmt.pr "budget: %a@." Budget.pp_degradation (Budget.degradation b)
   | None -> ());
-  Bench_json.set_meta [ ("total_bench_time_s", Bench_json.F total) ];
+  (* overwrite the pre-run value (the request) with what actually ran —
+     set_meta replaces by key *)
+  Bench_json.set_meta
+    [ ("experiments",
+       Bench_json.S (String.concat "," (List.rev !completed)));
+      ("total_bench_time_s", Bench_json.F total) ];
   (* The structured run report — config, degradation, metrics snapshot and
      per-phase timings — is always embedded in BENCH_autobias.json;
      --metrics also writes it standalone. *)

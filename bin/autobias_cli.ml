@@ -116,14 +116,15 @@ let kill_after_arg =
   in
   Arg.(value & opt (some int) None & info [ "kill-after-clause" ] ~docv:"K" ~doc)
 
-let config ?(coverage_cache = true) ?(compiled_eval = true) ~strategy ~timeout
-    () =
+let config ?(coverage_cache = true) ?(compiled_eval = true) ?(pruning = true)
+    ~strategy ~timeout () =
   {
     Autobias.default_config with
     strategy = Sampling.Strategy.of_string strategy;
     timeout = Some timeout;
     coverage_cache;
     compiled_eval;
+    pruning;
   }
 
 let trace_arg =
@@ -194,6 +195,15 @@ let no_compiled_arg =
      does."
   in
   Arg.(value & flag & info [ "no-compiled-eval" ] ~doc)
+
+let no_prune_arg =
+  let doc =
+    "Disable the failure-constraint pruning store (escape hatch / A/B \
+     baseline). Pruning replays exact cached verdicts, so the learned \
+     definition is bit-identical with and without it on a fixed seed; only \
+     the number of subsumption tries changes."
+  in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
 
 (* Build the budget / pool a command asked for and pass them down; the pool
    is shut down (domains joined) before returning, also on exceptions.
@@ -334,7 +344,7 @@ let load_definition path =
 let learn_cmd =
   let run dataset_name method_name strategy scale seed timeout deadline domains
       chaos chaos_layers chaos_kill checkpoint checkpoint_every resume
-      kill_after no_cache no_compiled cv show_bias output trace metrics =
+      kill_after no_cache no_compiled no_prune cv show_bias output trace metrics =
     let dataset = dataset_of_name ~scale ~seed dataset_name in
     let method_ = Autobias.method_of_string method_name in
     let report_config =
@@ -365,7 +375,7 @@ let learn_cmd =
     in
     let config =
       { (config ~coverage_cache:(not no_cache) ~compiled_eval:(not no_compiled)
-           ~strategy ~timeout ())
+           ~pruning:(not no_prune) ~strategy ~timeout ())
         with budget; pool }
     in
     let note_resilience () =
@@ -464,6 +474,19 @@ let learn_cmd =
           note_degradation d;
           Fmt.pr "degradation: %a@." Budget.pp_degradation d)
         r.Autobias.degradation;
+      Option.iter
+        (fun { Learning.Coverage.probes; hits; constraints } ->
+          Fmt.pr "pruning: %d constraints learned, %d/%d probes hit@."
+            constraints hits probes;
+          note_extra
+            ( "pruning",
+              Obs.Json.Obj
+                [
+                  ("probes", Obs.Json.Int probes);
+                  ("hits", Obs.Json.Int hits);
+                  ("constraints", Obs.Json.Int constraints);
+                ] ))
+        r.Autobias.prune;
       note_resilience ();
       report_run ~budget:None pool;
       let cov =
@@ -498,7 +521,8 @@ let learn_cmd =
       const run $ dataset_arg $ method_arg $ strategy_arg $ scale_arg $ seed_arg
       $ timeout_arg $ deadline_arg $ domains_arg $ chaos_arg $ chaos_layers_arg
       $ chaos_kill_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-      $ kill_after_arg $ no_cache_arg $ no_compiled_arg $ cv_arg $ show_bias_arg
+      $ kill_after_arg $ no_cache_arg $ no_compiled_arg $ no_prune_arg $ cv_arg
+      $ show_bias_arg
       $ output_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- bias ---------------- *)

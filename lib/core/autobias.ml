@@ -62,6 +62,13 @@ type config = {
       (** evaluate coverage through the int-coded compiled kernel (default
           [true]); bit-identical to the symbolic frontier engine —
           [false] ([--no-compiled-eval]) is the escape hatch / A/B baseline *)
+  pruning : bool;
+      (** learn failure constraints from rejected candidates and probe them
+          before evaluating (default [true]); verdict-preserving, so the
+          learned definition is bit-identical either way — [false]
+          ([--no-prune]) is the escape hatch / A/B baseline. Only active
+          together with [compiled_eval] (signatures are compiled-key
+          prefixes). *)
   budget : Budget.t option;
       (** run governance: cancelling it stops any learning entry point
           cooperatively; its counters aggregate across folds. Each run still
@@ -98,6 +105,7 @@ let default_config =
     subsumption = Logic.Subsumption.default_config;
     coverage_cache = true;
     compiled_eval = true;
+    pruning = true;
     budget = None;
     pool = None;
     checkpoint = None;
@@ -210,7 +218,8 @@ let foil_config config =
 let coverage_context config (dataset : Datasets.Dataset.t) bias ~rng =
   Learning.Coverage.create ~sub_config:config.subsumption
     ~bc_config:(bc_config config) ~use_cache:config.coverage_cache
-    ~use_compiled:config.compiled_eval dataset.Datasets.Dataset.db bias ~rng
+    ~use_compiled:config.compiled_eval ~use_pruning:config.pruning
+    dataset.Datasets.Dataset.db bias ~rng
 
 type run_result = {
   definition : Logic.Clause.definition;
@@ -220,6 +229,9 @@ type run_result = {
   degradation : Budget.degradation option;
       (** budget accounting for the run; [None] only for the {!Foil}
           baseline, which predates the governance layer *)
+  prune : Learning.Coverage.prune_stats option;
+      (** failure-constraint store traffic for the run's coverage context;
+          [None] when pruning is off *)
 }
 
 (** [learn_once ?config method_ dataset ~rng ~train_pos ~train_neg] learns a
@@ -255,6 +267,10 @@ let learn_once ?(config = default_config) method_ dataset ~rng ~train_pos
     learn_time = Unix.gettimeofday () -. t0;
     timed_out;
     degradation;
+    prune =
+      (if Learning.Coverage.pruning_enabled cov then
+         Some (Learning.Coverage.prune_stats cov)
+       else None);
   }
 
 (** [cross_validate ?config ?k method_ dataset ~seed] runs the dataset's

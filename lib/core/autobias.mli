@@ -43,6 +43,12 @@ type config = {
       (** evaluate coverage through the int-coded compiled kernel (default
           [true]); bit-identical to the symbolic engine — [false]
           ([--no-compiled-eval]) is the escape hatch / A/B baseline *)
+  pruning : bool;
+      (** learn failure constraints from rejected candidates and probe them
+          before evaluating (default [true]); verdict-preserving, so learned
+          definitions are bit-identical either way — [false] ([--no-prune])
+          is the escape hatch / A/B baseline. Only active together with
+          [compiled_eval]. *)
   budget : Budget.t option;
       (** run governance (deadline + cancellation + degradation counters):
           cancelling it stops any learning entry point cooperatively; each
@@ -110,6 +116,9 @@ type run_result = {
   timed_out : bool;
   degradation : Budget.degradation option;
       (** budget accounting; [None] only for the {!Foil} baseline *)
+  prune : Learning.Coverage.prune_stats option;
+      (** failure-constraint store traffic (probes / hits / constraints)
+          for the run's coverage context; [None] when pruning is off *)
 }
 
 (** [learn_once ?config method_ dataset ~rng ~train_pos ~train_neg] learns a

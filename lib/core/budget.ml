@@ -53,6 +53,8 @@ type event =
   | Job_quarantined
   | Checkpoint_written
   | Checkpoint_skipped
+  | Candidate_pruned
+  | Constraint_learned
 
 let event_index = function
   | Subsumption_try -> 0
@@ -70,8 +72,10 @@ let event_index = function
   | Job_quarantined -> 12
   | Checkpoint_written -> 13
   | Checkpoint_skipped -> 14
+  | Candidate_pruned -> 15
+  | Constraint_learned -> 16
 
-let n_events = 15
+let n_events = 17
 
 type t = {
   deadline : float option;  (** absolute, per scope *)
@@ -137,6 +141,8 @@ type counters = {
   jobs_quarantined : int;
   checkpoints_written : int;
   checkpoints_skipped : int;
+  candidates_pruned : int;
+  constraints_learned : int;
 }
 
 let counters t =
@@ -157,6 +163,8 @@ let counters t =
     jobs_quarantined = get Job_quarantined;
     checkpoints_written = get Checkpoint_written;
     checkpoints_skipped = get Checkpoint_skipped;
+    candidates_pruned = get Candidate_pruned;
+    constraints_learned = get Constraint_learned;
   }
 
 let zero =
@@ -176,6 +184,8 @@ let zero =
     jobs_quarantined = 0;
     checkpoints_written = 0;
     checkpoints_skipped = 0;
+    candidates_pruned = 0;
+    constraints_learned = 0;
   }
 
 let counters_leq a b =
@@ -194,6 +204,8 @@ let counters_leq a b =
   && a.jobs_quarantined <= b.jobs_quarantined
   && a.checkpoints_written <= b.checkpoints_written
   && a.checkpoints_skipped <= b.checkpoints_skipped
+  && a.candidates_pruned <= b.candidates_pruned
+  && a.constraints_learned <= b.constraints_learned
 
 let counters_to_assoc c =
   [
@@ -212,6 +224,8 @@ let counters_to_assoc c =
     ("jobs_quarantined", c.jobs_quarantined);
     ("checkpoints_written", c.checkpoints_written);
     ("checkpoints_skipped", c.checkpoints_skipped);
+    ("candidates_pruned", c.candidates_pruned);
+    ("constraints_learned", c.constraints_learned);
   ]
 
 (* The event behind each [counters_to_assoc] name — what lets a resumed run
@@ -232,6 +246,8 @@ let event_of_name = function
   | "jobs_quarantined" -> Some Job_quarantined
   | "checkpoints_written" -> Some Checkpoint_written
   | "checkpoints_skipped" -> Some Checkpoint_skipped
+  | "candidates_pruned" -> Some Candidate_pruned
+  | "constraints_learned" -> Some Constraint_learned
   | _ -> None
 
 let add_assoc t kvs =

@@ -95,6 +95,12 @@ type event =
   | Checkpoint_skipped
       (** a checkpoint write was skipped (injected fault or I/O error); the
           run continues, the previous checkpoint survives *)
+  | Candidate_pruned
+      (** a candidate clause was rejected by the failure-constraint store
+          without running a single coverage test *)
+  | Constraint_learned
+      (** a blocked coverage verdict was turned into a reusable
+          failure-constraint signature in the prune store *)
 
 (** [hit t e] bumps [e]'s counter by one. Lock-free. *)
 val hit : t -> event -> unit
@@ -127,6 +133,8 @@ type counters = {
   jobs_quarantined : int;
   checkpoints_written : int;
   checkpoints_skipped : int;
+  candidates_pruned : int;
+  constraints_learned : int;
 }
 
 (** [counters t] is a consistent-enough snapshot (each cell is read

@@ -92,6 +92,11 @@ type t = {
   compiled : Eval_plan.t option;
       (** [None] = symbolic evaluation ([--no-compiled-eval]); the compiled
           engine is bit-identical, so the switch never changes results *)
+  prune : Prune.t option;
+      (** failure-constraint store ([None] = [--no-prune], or symbolic
+          evaluation — signatures are compiled-key prefixes); a probe hit
+          returns the exact verdict evaluation would compute, so pruning
+          never changes results either *)
   budget : Budget.t option;
       (** sink for degradation counters (frontier truncations, memo
           hits/misses); never changes any coverage verdict *)
@@ -99,7 +104,7 @@ type t = {
 
 let create ?(sub_config = Logic.Subsumption.default_config)
     ?(bc_config = Bottom_clause.default_config) ?budget ?(use_cache = true)
-    ?(use_compiled = true) db bias ~rng =
+    ?(use_compiled = true) ?(use_pruning = true) db bias ~rng =
   {
     db;
     bias;
@@ -119,11 +124,20 @@ let create ?(sub_config = Logic.Subsumption.default_config)
            }
        else None);
     compiled = (if use_compiled then Some (Eval_plan.create ()) else None);
+    prune = (if use_pruning && use_compiled then Some (Prune.create ()) else None);
     budget;
   }
 
 let cache_enabled t = t.memo <> None
 let compiled_enabled t = t.compiled <> None
+let pruning_enabled t = t.prune <> None
+
+type prune_stats = Prune.stats = { probes : int; hits : int; constraints : int }
+
+let prune_stats t =
+  match t.prune with
+  | None -> { probes = 0; hits = 0; constraints = 0 }
+  | Some ps -> Prune.stats ps
 
 let cache_stats t =
   match t.memo with
@@ -270,6 +284,49 @@ let eval_uncached t clause example =
               Logic.Subsumption.eval_prefix ?budget:t.budget ~subst clause
                 ge.sym))
 
+(* One verdict, cheapest honest route: probe the failure-constraint store
+   first (a trie walk instead of a frontier evaluation — a hit returns the
+   exact verdict evaluation would compute), fall back to the real
+   evaluator, and turn any fresh blocked verdict into a stored constraint
+   for the next candidate that shares the failing prefix. *)
+let compute t clause example =
+  match (t.prune, t.compiled) with
+  | Some ps, Some ep -> (
+      let key = Eval_plan.key ep clause in
+      match Prune.probe ps ~example ~key with
+      | Some i -> Logic.Subsumption.Blocked i
+      | None ->
+          let v = eval_uncached t clause example in
+          (match v with
+          | Logic.Subsumption.Blocked i ->
+              if Prune.learn ps ~example ~key ~blocked:i then
+                Budget.hit_opt t.budget Budget.Constraint_learned
+          | Logic.Subsumption.Covered _ -> ());
+          v)
+  | _ -> eval_uncached t clause example
+
+(** [probe_pruned t clause example] — the verdict the failure-constraint
+    store already knows for [(clause, example)], if any (always a
+    [Blocked _]). Probe-only: never evaluates, never stores. *)
+let probe_pruned t clause example =
+  match (t.prune, t.compiled) with
+  | Some ps, Some ep -> (
+      match Prune.probe ps ~example ~key:(Eval_plan.key ep clause) with
+      | Some i -> Some (Logic.Subsumption.Blocked i)
+      | None -> None)
+  | _ -> None
+
+(** [blocking_key t clause i] — the canonical compiled key segment of the
+    literal that [Blocked i] points at (the head for [i = 0]); [None] under
+    [--no-compiled-eval]. The same segment arithmetic the prune store's
+    failure signatures use. *)
+let blocking_key t clause i =
+  match t.compiled with
+  | Some ep ->
+      let key = Eval_plan.key ep clause in
+      Some (Logic.Compiled.key_segment key ~index:i)
+  | None -> None
+
 (** [eval t clause example] evaluates [clause] against [example] with the
     substitution-set prefix evaluator: [Covered w] with a witness, or
     [Blocked i] with the 1-based index of the blocking body literal — the
@@ -278,11 +335,11 @@ let eval_uncached t clause example =
     enabled; a memoized verdict is identical to a recomputed one. *)
 let eval t clause example =
   match t.memo with
-  | None -> eval_uncached t clause example
+  | None -> compute t clause example
   (* "memo" chaos: pretend the cache lost this entry — bypass the probe
      and the insert and recompute. Purity of verdicts means the answer is
      identical, so chaos here degrades throughput, never correctness. *)
-  | Some _ when Chaos.fires "memo" -> eval_uncached t clause example
+  | Some _ when Chaos.fires "memo" -> compute t clause example
   | Some m -> (
       let clause_key =
         match t.compiled with
@@ -303,7 +360,7 @@ let eval t clause example =
       | None ->
           Atomic.incr m.misses;
           Budget.hit_opt t.budget Budget.Coverage_memo_miss;
-          let v = eval_uncached t clause example in
+          let v = compute t clause example in
           Mutex.lock lock;
           if Hashtbl.length tbl < memo_stripe_cap && not (Hashtbl.mem tbl key)
           then Hashtbl.add tbl key v;
@@ -352,3 +409,27 @@ let count_many ?pool t clause examples =
     [example] (Horn-definition coverage, Definition 2.4). *)
 let definition_covers t def example =
   List.exists (fun c -> covers t c example) def
+
+(* {2 Constraint persistence} — the failure-constraint store rides along in
+   learner checkpoints as an opaque string (interned ids decoded to symbols
+   so another process can re-encode them). Constraints are monotone facts
+   of (seed, example, prefix): importing them restores pruning power but
+   cannot change a verdict, so resumed runs stay bit-identical. *)
+
+let export_constraints t =
+  match (t.prune, t.compiled) with
+  | Some ps, Some ep ->
+      Marshal.to_string (Prune.export ps (Eval_plan.symtab ep)) []
+  | _ -> ""
+
+let import_constraints t s =
+  if String.length s > 0 then
+    match (t.prune, t.compiled) with
+    | Some ps, Some ep -> (
+        match (Marshal.from_string s 0 : Prune.exported) with
+        | exported -> Prune.import ps (Eval_plan.symtab ep) exported
+        (* A checkpoint from a binary with a different payload layout: the
+           version gate should have caught it, but constraints are a pure
+           accelerant, so the safe degradation is to start cold. *)
+        | exception _ -> ())
+    | _ -> ()

@@ -24,13 +24,21 @@ type cache_stats = { hits : int; misses : int; entries : int }
     ([--no-coverage-cache]). [?use_compiled] (default [true]) evaluates
     through the int-coded compiled kernel ({!Logic.Compiled}), which is
     bit-identical to the symbolic frontier engine — [false]
-    ([--no-compiled-eval]) is the escape hatch / A/B baseline. *)
+    ([--no-compiled-eval]) is the escape hatch / A/B baseline.
+    [?use_pruning] (default [true]) arms the failure-constraint store
+    ({!Prune}): blocked verdicts become prefix signatures that answer later
+    evaluations without running the frontier. A probe hit returns the exact
+    verdict evaluation would compute, so pruning is also invisible to
+    results — [false] ([--no-prune]) is the A/B escape hatch. Pruning
+    requires the compiled engine (signatures are compiled-key prefixes) and
+    is silently off under [use_compiled:false]. *)
 val create :
   ?sub_config:Logic.Subsumption.config ->
   ?bc_config:Bottom_clause.config ->
   ?budget:Budget.t ->
   ?use_cache:bool ->
   ?use_compiled:bool ->
+  ?use_pruning:bool ->
   Relational.Database.t ->
   Bias.Language.t ->
   rng:Random.State.t ->
@@ -38,6 +46,16 @@ val create :
 
 val cache_enabled : t -> bool
 val compiled_enabled : t -> bool
+val pruning_enabled : t -> bool
+
+(** Failure-constraint store snapshot (all zero when pruning is off). *)
+type prune_stats = Prune.stats = {
+  probes : int;
+  hits : int;
+  constraints : int;
+}
+
+val prune_stats : t -> prune_stats
 
 (** [cache_stats t] — a consistent-enough snapshot of the verdict memo. *)
 val cache_stats : t -> cache_stats
@@ -69,6 +87,30 @@ val head_subst :
     itself cannot bind. *)
 val eval :
   t -> Logic.Clause.t -> Relational.Relation.tuple -> Logic.Subsumption.verdict
+
+(** [probe_pruned t clause example] — the verdict the failure-constraint
+    store already knows for the pair, if any (always [Blocked _]).
+    Probe-only: never evaluates, never stores; [None] when pruning is off.
+    What {!Learn} asks before spending coverage tests on a candidate. *)
+val probe_pruned :
+  t ->
+  Logic.Clause.t ->
+  Relational.Relation.tuple ->
+  Logic.Subsumption.verdict option
+
+(** [blocking_key t clause i] — canonical compiled key segment of the
+    literal a [Blocked i] verdict points at (the head for [i = 0]); [None]
+    under [--no-compiled-eval]. Shared with {!Explain.Not_covered}. *)
+val blocking_key : t -> Logic.Clause.t -> int -> int array option
+
+(** [export_constraints t] — the failure-constraint store as an opaque
+    checkpoint payload ([""] when pruning is off). *)
+val export_constraints : t -> string
+
+(** [import_constraints t s] restores an {!export_constraints} payload
+    (no-op on [""], pruning off, or an undecodable payload — constraints
+    are an accelerant, so the safe degradation is to start cold). *)
+val import_constraints : t -> string -> unit
 
 val covers : t -> Logic.Clause.t -> Relational.Relation.tuple -> bool
 

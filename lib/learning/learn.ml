@@ -319,6 +319,43 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
       done;
       !c
     in
+    (* Failure-constraint short-circuit: when every probe positive the
+       parent does not already cover is known-blocked by the prune store,
+       and inheritance alone cannot reach the stage-1 bar, the staged
+       early-exit record below is fully determined — synthesize it without
+       spending a single coverage test on this candidate. A store hit is
+       the exact verdict evaluation would return, so the record (and hence
+       the beam) is bit-identical to the unpruned run. *)
+    let prune_shortcut () =
+      if not (Coverage.pruning_enabled cov) then None
+      else begin
+        let inh = ref 0 and all_blocked = ref true in
+        for i = 0 to n_probe - 1 do
+          match parent with
+          | Some p when p.pos_cov.(i) -> incr inh
+          | _ ->
+              if
+                !all_blocked
+                && Coverage.probe_pruned cov clause eval_pos_arr.(i) = None
+              then all_blocked := false
+        done;
+        if !all_blocked && !inh < 2 then Some !inh else None
+      end
+    in
+    match prune_shortcut () with
+    | Some p_probe ->
+        Budget.hit budget Budget.Candidate_pruned;
+        for i = 0 to n_probe - 1 do
+          match parent with
+          | Some p when p.pos_cov.(i) ->
+              pos_cov.(i) <- true;
+              incr inherited
+          | _ -> ()
+        done;
+        finish
+          { clause; pos_covered = p_probe; neg_covered = 0;
+            score = pos_weight *. float_of_int p_probe; pos_cov; neg_cov }
+    | None ->
     let p_probe = count_pos 0 n_probe in
     if p_probe < 2 then
       finish
@@ -594,7 +631,11 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
       base_elapsed := ck.Resilience.Checkpoint.elapsed_s;
       (* Credit the prior run's degradation counters so the resumed run's
          report covers the whole logical run, not just the tail. *)
-      Budget.add_assoc budget ck.Resilience.Checkpoint.counters);
+      Budget.add_assoc budget ck.Resilience.Checkpoint.counters;
+      (* Re-arm the failure-constraint store: the snapshot's constraints
+         are facts of (seed, example, prefix), so importing them only
+         restores pruning power — verdicts cannot change. *)
+      Coverage.import_constraints cov ck.Resilience.Checkpoint.constraints);
   let emit_checkpoint () =
     match config.checkpoint with
     | Some sink when !boundary mod max 1 config.checkpoint_every = 0 ->
@@ -611,6 +652,7 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
             rng = Random.State.copy rng;
             counters = Budget.counters_to_assoc (Budget.counters budget);
             elapsed_s = !base_elapsed +. (Unix.gettimeofday () -. t0);
+            constraints = Coverage.export_constraints cov;
           }
         in
         let outcome = try sink ck with _ -> `Skipped in

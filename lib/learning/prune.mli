@@ -1,0 +1,53 @@
+(** Failure-constraint store: blocked coverage verdicts generalized into
+    reusable pruning constraints.
+
+    A [Blocked i] verdict for clause [C] on example [e] depends only on the
+    prefix [head ← L_1, …, L_i] of [C] (the frontier evaluator never looks
+    past the literal it dies at, and its truncation subsampling is
+    deterministic), so the canonical int-coded key prefix through the
+    blocking literal — the {e failure signature} — predicts the exact same
+    verdict for every clause that starts with it. A probe hit therefore
+    replaces a frontier evaluation with a trie walk without changing any
+    answer: pruning is bit-identity-preserving at fixed seed, exactly like
+    the coverage memo.
+
+    The store is lock-striped by example hash and safe to share across pool
+    workers, sequential-covering iterations and CV folds. Constraints are
+    monotone facts for a fixed (seed, frontier-cap) context; {!export} /
+    {!import} move them through checkpoints so a resumed run keeps its
+    pruning power. *)
+
+type t
+
+val create : unit -> t
+
+(** Lifetime probe/hit counts and the number of constraints stored. *)
+type stats = { probes : int; hits : int; constraints : int }
+
+val stats : t -> stats
+
+(** [probe t ~example ~key] — [Some i] when a stored failure signature
+    prefixes [key] (canonical key from {!Logic.Compiled.key}): the clause
+    is [Blocked i] on [example] without evaluating. *)
+val probe :
+  t -> example:Relational.Relation.tuple -> key:int array -> int option
+
+(** [learn t ~example ~key ~blocked] stores the failure signature of a
+    [Blocked blocked] verdict for the clause with canonical key [key].
+    [true] iff a new constraint was stored ([false]: already known,
+    subsumed by a shorter signature, or capacity-capped). *)
+val learn :
+  t -> example:Relational.Relation.tuple -> key:int array -> blocked:int -> bool
+
+(** Symtab-independent snapshot of the store: interned ids decoded back to
+    predicate names and values, so a different process can re-encode them.
+    Plain marshalable data — the checkpoint payload. *)
+type exported
+
+(** [export t symtab] decodes every stored constraint against the symbol
+    table that minted its ids. *)
+val export : t -> Logic.Compiled.Symtab.t -> exported
+
+(** [import t symtab exported] re-encodes [exported] against [symtab] and
+    stores the constraints (idempotent; respects capacity caps). *)
+val import : t -> Logic.Compiled.Symtab.t -> exported -> unit

@@ -50,6 +50,7 @@ module Symtab = struct
     consts : int Value.Table.t;
     mutable values : Value.t array;  (** id → value (reverse array) *)
     mutable n_values : int;
+    mutable pred_names : string array;  (** id → name (reverse array) *)
   }
 
   let create () =
@@ -59,6 +60,7 @@ module Symtab = struct
       consts = Value.Table.create 1024;
       values = Array.make 1024 (Value.Int 0);
       n_values = 0;
+      pred_names = Array.make 64 "";
     }
 
   let pred_id t p =
@@ -68,6 +70,12 @@ module Symtab = struct
       | Some id -> id
       | None ->
           let id = Hashtbl.length t.preds in
+          if id >= Array.length t.pred_names then begin
+            let bigger = Array.make (2 * Array.length t.pred_names) "" in
+            Array.blit t.pred_names 0 bigger 0 id;
+            t.pred_names <- bigger
+          end;
+          t.pred_names.(id) <- p;
           Hashtbl.add t.preds p id;
           id
     in
@@ -101,6 +109,7 @@ module Symtab = struct
      growth — before this read, and growth only ever appends. *)
   let values t = t.values
   let value t id = t.values.(id)
+  let pred_name t id = t.pred_names.(id)
 end
 
 (** {1 Compiled ground clauses} *)
@@ -211,6 +220,23 @@ type plan = {
 
 let key p = p.p_key
 let n_body p = Array.length p.p_pred
+
+(* The canonical key is a prefix-free concatenation of per-literal segments
+   [pred; arity; args...] (head first, body in order), so segment boundaries
+   are recoverable from the key alone: read a pred, an arity, then exactly
+   arity args. *)
+let key_bounds k =
+  let n = Array.length k in
+  let acc = ref [ 0 ] and p = ref 0 in
+  while !p < n do
+    p := !p + 2 + k.(!p + 1);
+    acc := !p :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+let key_segment k ~index =
+  let b = key_bounds k in
+  Array.sub k b.(index) (b.(index + 1) - b.(index))
 
 (** [compile tab clause] — int-code [clause] against [tab]. Pure up to
     interning: recompiling yields an equal plan, so an evicted plan cache

@@ -28,6 +28,9 @@ module Symtab : sig
 
   (** [value t id] — the constant interned as [id]. *)
   val value : t -> int -> Relational.Value.t
+
+  (** [pred_name t id] — the predicate symbol interned as [id]. *)
+  val pred_name : t -> int -> string
 end
 
 type ground
@@ -55,6 +58,19 @@ val compile : Symtab.t -> Clause.t -> plan
 val key : plan -> int array
 
 val n_body : plan -> int
+
+(** [key_bounds k] — the literal-segment boundaries of a canonical key:
+    [bounds.(i)] is the offset where segment [i] starts (segment 0 is the
+    head, segment [i ≥ 1] is body literal [i]), and the final element is
+    [Array.length k]. Each segment is [pred; arity; args...], so boundaries
+    are recoverable from the key alone — the property the failure-constraint
+    store's prefix signatures rely on. *)
+val key_bounds : int array -> int array
+
+(** [key_segment k ~index] — the canonical key of literal [index] alone
+    (head = 0, body literal [i] = [i]): what {!Explain} attaches to
+    not-covered verdicts. *)
+val key_segment : int array -> index:int -> int array
 
 type scratch
 (** Reusable evaluation arenas. Not thread-safe — use one per worker

@@ -31,9 +31,14 @@ type t = {
   rng : Random.State.t;
   counters : (string * int) list;
   elapsed_s : float;
+  constraints : string;
+      (** opaque failure-constraint store payload (producer-defined;
+          [""] = none) — resumed runs keep their pruning power *)
 }
 
-let version = 1
+(* v2: the embedded failure-constraint store ([constraints]). Older
+   snapshots are refused by the version gate below, never reinterpreted. *)
+let version = 2
 
 let fingerprint_of_strings parts =
   Digest.to_hex (Digest.string (String.concat "\x00" parts))
@@ -78,6 +83,8 @@ let to_json t =
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters) );
       ("elapsed_s", Json.Float t.elapsed_s);
+      (* opaque bytes; hex keeps the file valid JSON *)
+      ("constraints", Json.Str (hex_encode t.constraints));
     ]
 
 let field name j =
@@ -149,11 +156,13 @@ let of_json j =
       | Ok _ -> Error "checkpoint: field \"elapsed_s\" is not a number"
       | Error _ as e -> e
     in
+    let* constraints_hex = str_field "constraints" j in
     match
       ( (unmarshal_hex def_bin : Logic.Clause.definition),
-        (unmarshal_hex rng_hex : Random.State.t) )
+        (unmarshal_hex rng_hex : Random.State.t),
+        hex_decode constraints_hex )
     with
-    | definition, rng ->
+    | definition, rng, constraints ->
         Ok
           {
             version = v;
@@ -167,6 +176,7 @@ let of_json j =
             rng;
             counters;
             elapsed_s;
+            constraints;
           }
     | exception e ->
         Error ("checkpoint: corrupt marshal payload: " ^ Printexc.to_string e)

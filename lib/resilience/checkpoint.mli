@@ -35,9 +35,16 @@ type t = {
   counters : (string * int) list;
       (** {!Budget.counters_to_assoc} snapshot at the boundary *)
   elapsed_s : float;  (** wall-clock spent up to the boundary *)
+  constraints : string;
+      (** opaque failure-constraint store payload ([""] = none). The
+          producer ({!Learning.Coverage}) defines the encoding; resilience
+          just carries the bytes (hex-encoded in the JSON), so the
+          dependency arrow stays learning → resilience *)
 }
 
-(** The snapshot format version this binary reads and writes. *)
+(** The snapshot format version this binary reads and writes. v2 added the
+    embedded failure-constraint store; older snapshots are refused by
+    {!of_json}/{!load} with a version-mismatch error. *)
 val version : int
 
 (** [fingerprint_of_strings parts] is a stable hex digest of [parts] — the

@@ -33,9 +33,13 @@ let kernel_properties =
               truncations (the budgeted give-up path). *)
            let s = 1 + (seed mod 17) in
            let d = Datasets.Uw.generate ~seed:s ~scale:0.3 () in
+           (* pruning off: the truncation-parity check needs every verdict
+              to come from a real evaluation on both sides (the prune store
+              only exists under the compiled engine) *)
            let mk use_compiled budget =
-             Coverage.create ~use_cache:false ~use_compiled ~budget
-               d.Datasets.Dataset.db d.Datasets.Dataset.manual_bias
+             Coverage.create ~use_cache:false ~use_compiled
+               ~use_pruning:false ~budget d.Datasets.Dataset.db
+               d.Datasets.Dataset.manual_bias
                ~rng:(Random.State.make [| s; 77 |])
            in
            let b_c = Budget.create () and b_s = Budget.create () in
@@ -122,9 +126,12 @@ let kernel_properties =
 let learn_uw ?pool ?(use_compiled = true) ?(use_cache = true) ~seed () =
   let d = Datasets.Uw.generate ~seed ~scale:0.4 () in
   let rng = Random.State.make [| seed |] in
+  (* pruning off: the A/B below asserts exact subsumption-try and
+     truncation parity between compiled and symbolic runs; the prune store
+     (compiled-only) would break the counts. Its own A/B is test_prune. *)
   let cov =
-    Coverage.create ~use_cache ~use_compiled d.Datasets.Dataset.db
-      d.Datasets.Dataset.manual_bias ~rng
+    Coverage.create ~use_cache ~use_compiled ~use_pruning:false
+      d.Datasets.Dataset.db d.Datasets.Dataset.manual_bias ~rng
   in
   let config = { Learn.default_config with timeout = Some 600.; pool } in
   Learn.learn ~config cov ~rng ~positives:d.Datasets.Dataset.positives

@@ -322,7 +322,7 @@ let explain_tests =
             "advisedBy(X,Y) :- professor(Y), hasPosition(Y,full_prof)"
         in
         match Learning.Explain.explain cov c [| v "juan"; v "sarita" |] with
-        | Learning.Explain.Not_covered { blocking = Some l; blocking_index } ->
+        | Learning.Explain.Not_covered { blocking = Some l; blocking_index; _ } ->
             Alcotest.(check int) "index 2" 2 blocking_index;
             Alcotest.(check string) "hasPosition blocks" "hasPosition"
               (Literal.pred l)
@@ -331,7 +331,7 @@ let explain_tests =
         let cov = coverage_ctx () in
         let c = Logic.Parser.clause "advisedBy(juan,Y) :- professor(Y)" in
         match Learning.Explain.explain cov c [| v "john"; v "mary" |] with
-        | Learning.Explain.Not_covered { blocking = None; blocking_index = 0 } -> ()
+        | Learning.Explain.Not_covered { blocking = None; blocking_index = 0; _ } -> ()
         | _ -> Alcotest.fail "head should fail");
     Alcotest.test_case "definition explanation picks the covering clause"
       `Quick (fun () ->

@@ -14,6 +14,7 @@ let () =
       ("query", Test_query.suite);
       ("properties", Test_properties.suite);
       ("compiled", Test_compiled.suite);
+      ("prune", Test_prune.suite);
       ("robustness", Test_robustness.suite);
       ("resilience", Test_resilience.suite);
       ("regressions", Test_regressions.suite);

@@ -29,6 +29,7 @@ let sample_checkpoint () =
     rng = Random.State.make [| 42 |];
     counters = [ ("worker_faults", 3); ("jobs_skipped", 1) ];
     elapsed_s = 0.25;
+    constraints = "opaque\x00bytes";
   }
 
 let rng_stream st =
@@ -77,6 +78,9 @@ let checkpoint_tests =
                 Alcotest.(check string) "definition"
                   (render ck.Checkpoint.definition)
                   (render got.Checkpoint.definition);
+                (* opaque bytes (including the NUL) must survive the hex trip *)
+                Alcotest.(check string) "constraints"
+                  ck.Checkpoint.constraints got.Checkpoint.constraints;
                 (* the restored RNG must replay the exact stream *)
                 Alcotest.(check (list int)) "rng stream"
                   (rng_stream ck.Checkpoint.rng)
@@ -119,6 +123,43 @@ let checkpoint_tests =
                      go 0
                    in
                    has "version")));
+    Alcotest.test_case
+      "v1 snapshot (pre constraint store) is refused, naming both versions"
+      `Quick (fun () ->
+        with_temp_file (fun path ->
+            (* simulate a v1 file: old version stamp and no "constraints"
+               field, exactly what a pre-v2 binary wrote *)
+            let v1 =
+              match Checkpoint.to_json (sample_checkpoint ()) with
+              | Json.Obj fields ->
+                  Json.Obj
+                    (List.filter_map
+                       (function
+                         | "version", Json.Int _ ->
+                             Some ("version", Json.Int 1)
+                         | "constraints", _ -> None
+                         | kv -> Some kv)
+                       fields)
+              | _ -> Alcotest.fail "checkpoint JSON is not an object"
+            in
+            Json.write path v1;
+            match Checkpoint.load path with
+            | Ok _ -> Alcotest.fail "v1 snapshot was accepted"
+            | Error e ->
+                let contains needle =
+                  let nl = String.length needle and ll = String.length e in
+                  let rec go i =
+                    i + nl <= ll && (String.sub e i nl = needle || go (i + 1))
+                  in
+                  go 0
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "error names the file's version (%s)" e)
+                  true (contains "v1");
+                Alcotest.(check bool)
+                  "error names the version this binary reads" true
+                  (contains
+                     (Printf.sprintf "v%d" Checkpoint.version))));
     Alcotest.test_case "load reports unreadable and torn files as Error"
       `Quick (fun () ->
         (match Checkpoint.load "/nonexistent/autobias.ck" with

@@ -34,6 +34,12 @@ type options = {
       (** pool fault-injection probability — robustness smoke testing: the
           run must finish with the same tables, just slower and with a
           nonzero dropped-task tally in the pool stats *)
+  mutable chaos_layers : string option;
+      (** comma-separated layer names (or "all") for the chaos registry;
+          without it --chaos injects into pool workers only *)
+  mutable chaos_kill : float option;
+      (** worker-kill probability (pool layer): exercises supervision
+          restart/retry/quarantine under the bench workloads *)
   mutable deadline : float option;
       (** global anytime deadline shared by every learning run *)
   mutable trace : string option;
@@ -45,8 +51,8 @@ type options = {
 
 let options =
   { data = [ "uw"; "imdb"; "hiv"; "flt"; "sys" ]; folds = 3; timeout = 30.;
-    seed = 42; scale = None; domains = None; chaos = None; deadline = None;
-    trace = None; metrics = None }
+    seed = 42; scale = None; domains = None; chaos = None; chaos_layers = None;
+    chaos_kill = None; deadline = None; trace = None; metrics = None }
 
 (* One pool for the whole run (spawning domains is the expensive part);
    created on first use when --domains (or --chaos, which needs workers to
@@ -54,18 +60,27 @@ let options =
 let the_pool : Parallel.Pool.t option ref = ref None
 
 let pool () =
-  match (!the_pool, options.domains, options.chaos) with
-  | (Some _ as p), _, _ -> p
-  | None, None, None -> None
-  | None, size, chaos ->
+  match !the_pool with
+  | Some _ as p -> p
+  | None -> (
+      (* the registry's pool injector (from --chaos-layers) wins; plain
+         --chaos keeps the pre-registry pool-only behavior *)
       let chaos =
-        Option.map
-          (fun p -> Parallel.Fault.create ~p_fault:p ~seed:options.seed ())
-          chaos
+        match Chaos.get "pool" with
+        | Some _ as inj -> inj
+        | None ->
+            Option.map
+              (fun p ->
+                Parallel.Fault.create ~p_fault:p ?p_kill:options.chaos_kill
+                  ~seed:options.seed ())
+              options.chaos
       in
-      let p = Parallel.Pool.create ?size ?chaos () in
-      the_pool := Some p;
-      Some p
+      match (options.domains, chaos) with
+      | None, None -> None
+      | size, _ ->
+          let p = Parallel.Pool.create ?size ?chaos () in
+          the_pool := Some p;
+          Some p)
 
 (* One budget for the whole run when --deadline is given: every learning
    call scopes its own [timeout]-bounded child, so the counters aggregate
@@ -735,10 +750,7 @@ let coverage_bench () =
     Array.sort compare a;
     (a, !verdicts)
   in
-  let pct a q =
-    let n = Array.length a in
-    if n = 0 then 0. else a.(min (n - 1) (int_of_float (q *. float_of_int n)))
-  in
+  let pct = Obs.Metrics.percentile in
   let a_c, v_c = time_evals (mk_uncached true) in
   let a_s, v_s = time_evals (mk_uncached false) in
   let verdicts_agree =
@@ -1136,6 +1148,154 @@ let resilience_bench () =
       ("uw.resume_identical", Bench_json.B resume_identical) ]
 
 (* ------------------------------------------------------------------ *)
+(* Serving: closed-loop load generation against the learning daemon.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements. First a closed-loop soak: N client domains drive
+   learn jobs through the daemon's bounded queue on a supervised pool
+   (chaos-injected when --chaos-layers is given), and every job must end
+   in exactly one of completed / degraded / rejected / quarantined /
+   failed. Then, with chaos cleared, a single request through a pool-less
+   daemon must produce a definition bit-identical to the direct library
+   call — serving must not perturb learning. This experiment runs last
+   (and clears the chaos registry), so keep it at the end of the list. *)
+let server_bench () =
+  hr ();
+  Fmt.pr "Serving — closed-loop load against the learning daemon@.";
+  Fmt.pr
+    "admission control, per-job deadlines, retry/quarantine; every job \
+     accounted@.";
+  hr ();
+  let catalog = Server.Catalog.create () in
+  let scale = Option.value options.scale ~default:0.2 in
+  let timeout = Float.min options.timeout 5. in
+  let template = Server.Protocol.default_common "uw" in
+  let requests i =
+    Server.Protocol.Learn
+      {
+        template with
+        Server.Protocol.scale;
+        seed = options.seed + (i mod 4);
+        timeout;
+        deadline = Some 3.0;
+      }
+  in
+  let config =
+    {
+      Server.Daemon.default_config with
+      max_in_flight = 2;
+      max_queue = 1;
+      max_attempts = 3;
+      policy = { Resilience.Policy.default with seed = options.seed };
+    }
+  in
+  let clients = 6 and jobs = 60 in
+  let handler = Server.Handler.default catalog in
+  let summary, stats =
+    Parallel.Pool.with_pool
+      ~size:(Option.value options.domains ~default:2)
+      ?chaos:(Chaos.get "pool")
+      (fun p ->
+        let daemon = Server.Daemon.create ~pool:p ~config handler in
+        let s =
+          Server.Loadgen.run ~clients ~jobs ~reject_retries:40 daemon requests
+        in
+        Server.Daemon.drain ~deadline:10. daemon;
+        (s, Server.Daemon.stats daemon))
+  in
+  Fmt.pr
+    "%d jobs, %d clients, %.1fs wall: %d completed, %d degraded, %d \
+     rejected (%d reject events), %d quarantined, %d failed (%d retries)@."
+    summary.Server.Loadgen.jobs summary.Server.Loadgen.clients
+    summary.Server.Loadgen.wall_s summary.Server.Loadgen.completed
+    summary.Server.Loadgen.degraded summary.Server.Loadgen.rejected
+    summary.Server.Loadgen.reject_events summary.Server.Loadgen.quarantined
+    summary.Server.Loadgen.failed summary.Server.Loadgen.retries;
+  Fmt.pr "latency: p50 %.3fs  p95 %.3fs  p99 %.3fs; reject rate %.2f@."
+    summary.Server.Loadgen.p50_s summary.Server.Loadgen.p95_s
+    summary.Server.Loadgen.p99_s summary.Server.Loadgen.reject_rate;
+  Fmt.pr "every job accounted for: %s@."
+    (if summary.Server.Loadgen.accounted then "YES"
+     else "NO -- A SUBMISSION WAS SILENTLY DROPPED");
+  let chaos_ticks, chaos_fired =
+    List.fold_left
+      (fun (t, f) (_, c) ->
+        ( t + c.Chaos.n_tickets,
+          f + c.Chaos.n_injected + c.Chaos.n_killed + c.Chaos.n_delayed ))
+      (0, 0) (Chaos.snapshot ())
+  in
+  (* identity check below must be chaos-free: injected faults would shift
+     retry counts, not results — but keep the comparison exact *)
+  Chaos.clear ();
+  let direct_definition =
+    let c = Server.Protocol.common_of_request (requests 0) in
+    let d =
+      match
+        Server.Catalog.load catalog ~name:c.Server.Protocol.dataset
+          ~scale:c.Server.Protocol.scale ~seed:c.Server.Protocol.seed
+      with
+      | Ok d -> d
+      | Error e -> failwith (Server.Catalog.error_to_string e)
+    in
+    let config =
+      {
+        Autobias.default_config with
+        strategy = Sampling.Strategy.of_string c.Server.Protocol.strategy;
+        timeout = Some c.Server.Protocol.timeout;
+        budget = Some (Budget.create ());
+        pool = None;
+      }
+    in
+    let rng = Random.State.make [| c.Server.Protocol.seed |] in
+    let r =
+      Autobias.learn_once ~config
+        (Autobias.method_of_string c.Server.Protocol.method_)
+        d ~rng ~train_pos:d.Dataset.positives ~train_neg:d.Dataset.negatives
+    in
+    Logic.Clause.definition_to_string r.Autobias.definition
+  in
+  let served_definition =
+    let daemon = Server.Daemon.create ~config handler in
+    match Server.Daemon.submit_and_wait daemon (requests 0) with
+    | Ok
+        {
+          Server.Protocol.outcome =
+            ( Server.Protocol.Completed payload
+            | Server.Protocol.Degraded (payload, _) );
+          _;
+        } -> (
+        match List.assoc_opt "definition" payload with
+        | Some (Obs.Json.Str s) -> s
+        | _ -> "<no definition in payload>")
+    | Ok _ -> "<job did not complete>"
+    | Error rej -> Server.Protocol.rejection_to_string rej
+  in
+  let single_identical = direct_definition = served_definition in
+  Fmt.pr "served definition identical to direct call: %s@."
+    (if single_identical then "YES" else "NO -- SERVING PERTURBED LEARNING");
+  Bench_json.record "server"
+    [ ("server.jobs", Bench_json.I summary.Server.Loadgen.jobs);
+      ("server.clients", Bench_json.I summary.Server.Loadgen.clients);
+      ("server.completed", Bench_json.I summary.Server.Loadgen.completed);
+      ("server.degraded", Bench_json.I summary.Server.Loadgen.degraded);
+      ("server.rejected", Bench_json.I summary.Server.Loadgen.rejected);
+      ("server.reject_events",
+       Bench_json.I summary.Server.Loadgen.reject_events);
+      ("server.quarantined", Bench_json.I summary.Server.Loadgen.quarantined);
+      ("server.failed", Bench_json.I summary.Server.Loadgen.failed);
+      ("server.retries", Bench_json.I stats.Server.Daemon.retries);
+      ("server.wall_s", Bench_json.F summary.Server.Loadgen.wall_s);
+      ("server.p50_latency_s", Bench_json.F summary.Server.Loadgen.p50_s);
+      ("server.p95_latency_s", Bench_json.F summary.Server.Loadgen.p95_s);
+      ("server.p99_latency_s", Bench_json.F summary.Server.Loadgen.p99_s);
+      ("server.reject_rate", Bench_json.F summary.Server.Loadgen.reject_rate);
+      ("server.outcomes_accounted",
+       Bench_json.B summary.Server.Loadgen.accounted);
+      ("server.chaos_ticks", Bench_json.I chaos_ticks);
+      ("server.chaos_fired", Bench_json.I chaos_fired);
+      ("server.single_identical", Bench_json.B single_identical) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations.                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1257,11 +1417,14 @@ let experiments =
     ("scaling", scaling);
     ("resilience", resilience_bench);
     ("micro", micro);
+    (* keep server last: it clears the chaos registry for its identity
+       check, which must not disarm chaos under other experiments *)
+    ("server", server_bench);
   ]
 
 let usage () =
   Fmt.pr
-    "usage: main.exe [EXPERIMENT..] [--data a,b,..] [--folds N] [--timeout S] [--seed N] [--scale F] [--domains N] [--chaos P] [--deadline S] [--trace FILE.json] [--metrics FILE.json]@.";
+    "usage: main.exe [EXPERIMENT..] [--data a,b,..] [--folds N] [--timeout S] [--seed N] [--scale F] [--domains N] [--chaos P] [--chaos-layers L,..] [--chaos-kill P] [--deadline S] [--trace FILE.json] [--metrics FILE.json]@.";
   Fmt.pr "experiments: %s (default: all)@."
     (String.concat " " (List.map fst experiments));
   Fmt.pr
@@ -1269,6 +1432,10 @@ let usage () =
   Fmt.pr
     "--chaos P kills each queued pool job with probability P (seeded);\n\
      the tables must come out identical, with faults tallied in the pool stats@.";
+  Fmt.pr
+    "--chaos-layers L,.. (or 'all') arms the chaos registry per layer at\n\
+     the --chaos probability; --chaos-kill P additionally kills pool\n\
+     workers (supervision restarts them, retries or quarantines jobs)@.";
   Fmt.pr
     "--deadline S bounds the whole run: learners return best-so-far\n\
      definitions and report their degradation counters@.";
@@ -1304,6 +1471,12 @@ let () =
     | "--chaos" :: v :: rest ->
         options.chaos <- Some (float_of_string v);
         parse chosen rest
+    | "--chaos-layers" :: v :: rest ->
+        options.chaos_layers <- Some v;
+        parse chosen rest
+    | "--chaos-kill" :: v :: rest ->
+        options.chaos_kill <- Some (float_of_string v);
+        parse chosen rest
     | "--deadline" :: v :: rest ->
         options.deadline <- Some (float_of_string v);
         parse chosen rest
@@ -1325,6 +1498,17 @@ let () =
   in
   let chosen = parse [] args in
   let chosen = if chosen = [] then List.map fst experiments else chosen in
+  (match options.chaos_layers with
+  | Some layers ->
+      let layers =
+        String.split_on_char ',' layers
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      Chaos.configure ?p_kill:options.chaos_kill
+        ~p_fault:(Option.value options.chaos ~default:0.)
+        ~seed:options.seed layers
+  | None -> ());
   if options.trace <> None then Obs.Trace.enable ();
   Bench_json.set_meta
     [ ("seed", Bench_json.I options.seed);
@@ -1338,6 +1522,25 @@ let () =
       ("cores_recommended", Bench_json.I (Domain.recommended_domain_count ()));
       ("experiments", Bench_json.S (String.concat "," chosen)) ];
   let completed = ref [] in
+  let failed = ref [] in
+  (* Whatever happens below — a failing experiment, a crash in the summary
+     code, a pool that refuses to shut down — a valid BENCH_autobias.json
+     must exist afterwards, with completions and failures recorded in its
+     meta. That is the bench's one contract with CI. *)
+  Fun.protect
+    ~finally:(fun () ->
+      (* overwrite the pre-run value (the request) with what actually
+         ran — set_meta replaces by key *)
+      Bench_json.set_meta
+        [ ("experiments",
+           Bench_json.S (String.concat "," (List.rev !completed)));
+          ("experiments_failed",
+           Bench_json.S
+             (String.concat "; "
+                (List.rev_map (fun (n, m) -> n ^ ": " ^ m) !failed))) ];
+      Bench_json.write "BENCH_autobias.json";
+      Fmt.pr "@.machine-readable metrics written to BENCH_autobias.json@.")
+  @@ fun () ->
   let (), total =
     Obs.Trace.time (fun () ->
         (* One span per experiment: the trace's top-level rows. A failing
@@ -1350,6 +1553,7 @@ let () =
             with
             | () -> completed := name :: !completed
             | exception e ->
+                failed := (name, Printexc.to_string e) :: !failed;
                 Fmt.epr "!! experiment %s failed: %s@." name
                   (Printexc.to_string e))
           chosen;
@@ -1369,12 +1573,7 @@ let () =
   | Some b ->
       Fmt.pr "budget: %a@." Budget.pp_degradation (Budget.degradation b)
   | None -> ());
-  (* overwrite the pre-run value (the request) with what actually ran —
-     set_meta replaces by key *)
-  Bench_json.set_meta
-    [ ("experiments",
-       Bench_json.S (String.concat "," (List.rev !completed)));
-      ("total_bench_time_s", Bench_json.F total) ];
+  Bench_json.set_meta [ ("total_bench_time_s", Bench_json.F total) ];
   (* The structured run report — config, degradation, metrics snapshot and
      per-phase timings — is always embedded in BENCH_autobias.json;
      --metrics also writes it standalone. *)
@@ -1401,6 +1600,4 @@ let () =
       Obs.Trace.export_json path;
       Fmt.pr "wrote trace to %s@." path
   | None -> ());
-  Bench_json.write "BENCH_autobias.json";
-  Fmt.pr "@.machine-readable metrics written to BENCH_autobias.json@.";
   Fmt.pr "total bench time: %s@." (CV.format_time total)

@@ -208,7 +208,14 @@ let no_prune_arg =
 (* Build the budget / pool a command asked for and pass them down; the pool
    is shut down (domains joined) before returning, also on exceptions.
    [chaos_layers] installs per-layer injectors first, so the pool picks up
-   the registry's "pool" injector when one is configured. *)
+   the registry's "pool" injector when one is configured.
+
+   A budget always exists (unbounded without --deadline) so that SIGINT /
+   SIGTERM have something to cancel: the first signal winds the anytime
+   learner down cooperatively — best-so-far definition, trace/metrics/run
+   report flushed by [with_observability], the last checkpoint intact
+   (checkpoint writes are atomic tmp+rename) — instead of dying mid-write.
+   A second signal exits immediately. *)
 let with_resources ~seed ~deadline ~domains ~chaos ~chaos_layers ~chaos_kill k =
   (match chaos_layers with
   | Some layers ->
@@ -221,7 +228,23 @@ let with_resources ~seed ~deadline ~domains ~chaos ~chaos_layers ~chaos_kill k =
         ~p_fault:(Option.value chaos ~default:0.)
         ~seed layers
   | None -> ());
-  let budget = Option.map (fun s -> Budget.create ~deadline:s ()) deadline in
+  let budget = Budget.create ?deadline () in
+  let interrupted = ref false in
+  let on_signal =
+    Sys.Signal_handle
+      (fun _ ->
+        if !interrupted then exit 130
+        else begin
+          interrupted := true;
+          prerr_endline
+            "interrupted: winding down (best-so-far results; interrupt \
+             again to exit immediately)";
+          Budget.cancel budget
+        end)
+  in
+  Sys.set_signal Sys.sigint on_signal;
+  (try Sys.set_signal Sys.sigterm on_signal with Invalid_argument _ -> ());
+  let budget = Some budget in
   let fault =
     match Chaos.get "pool" with
     | Some _ as inj -> inj
@@ -234,7 +257,8 @@ let with_resources ~seed ~deadline ~domains ~chaos ~chaos_layers ~chaos_kill k =
   | (None | Some 0), None -> k ~budget None
   | size, _ ->
       let size = match size with Some n when n > 0 -> Some n | _ -> None in
-      Parallel.Pool.with_pool ?size ?chaos:fault (fun p -> k ~budget (Some p))
+      Parallel.Pool.with_pool ?size ?chaos:fault ?budget (fun p ->
+          k ~budget (Some p))
 
 let report_run ~budget pool =
   (match pool with
@@ -366,13 +390,8 @@ let learn_cmd =
     @@ fun ~note_degradation ~note_extra ->
     with_resources ~seed ~deadline ~domains ~chaos ~chaos_layers ~chaos_kill
     @@ fun ~budget pool ->
-    (* --kill-after-clause cancels through the budget; make sure there is
-       one to cancel even without --deadline. *)
-    let budget =
-      match (budget, kill_after) with
-      | None, Some _ -> Some (Budget.create ())
-      | b, _ -> b
-    in
+    (* --kill-after-clause cancels through the budget, which
+       [with_resources] now always provides (signal handling needs it). *)
     let config =
       { (config ~coverage_cache:(not no_cache) ~compiled_eval:(not no_compiled)
            ~pruning:(not no_prune) ~strategy ~timeout ())

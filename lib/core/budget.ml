@@ -112,6 +112,25 @@ let past_deadline t =
 
 let expired t = is_cancelled t || past_deadline t
 
+(* Chunked so cancellation is honored within ~2ms: a plain [Unix.sleepf]
+   holds its caller hostage for the full duration (the pool's retry backoff
+   was exactly that), while here an expired budget or a true [stop] ends the
+   wait at the next chunk boundary. *)
+let sleepf ?budget ?(stop = fun () -> false) duration =
+  let until = now () +. duration in
+  let chunk = 0.002 in
+  let gone () =
+    stop () || match budget with Some b -> expired b | None -> false
+  in
+  let rec loop () =
+    let remaining = until -. now () in
+    if remaining > 0. && not (gone ()) then begin
+      Unix.sleepf (Float.min chunk remaining);
+      loop ()
+    end
+  in
+  loop ()
+
 let status t =
   if is_cancelled t then Cancelled
   else if past_deadline t then Deadline_hit

@@ -60,6 +60,12 @@ val status : t -> status
 (** [check t] raises {!Expired} when [expired t]. *)
 val check : t -> unit
 
+(** [sleepf ?budget ?stop d] sleeps [d] seconds in small chunks, returning
+    early as soon as [budget] is expired/cancelled or [stop ()] is true —
+    the budget-respecting replacement for [Unix.sleepf] in retry-backoff
+    loops, so a cancelled job is never held hostage by its own backoff. *)
+val sleepf : ?budget:t -> ?stop:(unit -> bool) -> float -> unit
+
 (** {1 Degradation counters}
 
     Every counter is monotone non-decreasing and shared across {!scope}

@@ -174,6 +174,20 @@ let counters_leq a b =
       | None -> false)
     a.counters
 
+(* Exact sample percentile (nearest-rank on a sorted copy), unlike the
+   registry histograms whose estimates carry one log-bucket of error — the
+   serving bench reports its p50/p95/p99 latencies from raw samples. *)
+let percentile samples q =
+  let n = Array.length samples in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
 let to_json s =
   Json.Obj
     [

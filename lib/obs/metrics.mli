@@ -64,6 +64,12 @@ type snapshot = {
     {!Budget.counters}). *)
 val snapshot : unit -> snapshot
 
+(** [percentile samples q] is the exact nearest-rank [q]-percentile
+    ([q] in [\[0, 1\]]) of [samples] (a copy is sorted; [0.] on empty) —
+    for latency reports that need exact numbers rather than the
+    log-bucketed histogram estimates. *)
+val percentile : float array -> float -> float
+
 (** [counters_leq a b] — every counter present in [a] is [<=] its value in
     [b] (and present); the monotonicity the qcheck property asserts across
     concurrent bumps. *)

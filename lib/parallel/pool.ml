@@ -44,6 +44,11 @@ type task = {
   enqueued_at : float;
   id : int;
   mutable kills : int;  (** workers this task has taken down so far *)
+  on_fault : (exn -> unit) option;
+      (** told when the pool drops this task's exception — the hook a
+          daemon layer uses so no submitted job can vanish silently *)
+  on_quarantine : (quarantine -> unit) option;
+      (** told when this task is quarantined (outside the pool lock) *)
 }
 
 type t = {
@@ -54,6 +59,8 @@ type t = {
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   chaos : Fault.t option;
+  budget : Budget.t option;
+      (** bounds supervision backoff sleeps: a cancelled budget ends them *)
   policy : Resilience.Policy.t;
   tasks_run : int Atomic.t;
   dropped : int Atomic.t;
@@ -108,25 +115,30 @@ let rec die t w task e bt =
   note_fault t e;
   Mutex.lock t.lock;
   task.kills <- task.kills + 1;
-  if task.kills >= max 1 t.policy.Resilience.Policy.job_retries then begin
-    t.quarantine <-
-      {
-        job_id = task.id;
-        attempts = task.kills;
-        exn = Printexc.to_string e;
-        backtrace = Printexc.raw_backtrace_to_string bt;
-      }
-      :: t.quarantine;
-    Atomic.incr t.quarantined;
-    Obs.Metrics.bump m_quarantined;
-    Logs.warn (fun m ->
-        m "Parallel.Pool: job %d quarantined after killing %d workers (%s)"
-          task.id task.kills (Printexc.to_string e))
-  end
-  else begin
-    Queue.push task t.queue;
-    Condition.signal t.nonempty
-  end;
+  let quarantined =
+    if task.kills >= max 1 t.policy.Resilience.Policy.job_retries then begin
+      let record =
+        {
+          job_id = task.id;
+          attempts = task.kills;
+          exn = Printexc.to_string e;
+          backtrace = Printexc.raw_backtrace_to_string bt;
+        }
+      in
+      t.quarantine <- record :: t.quarantine;
+      Atomic.incr t.quarantined;
+      Obs.Metrics.bump m_quarantined;
+      Logs.warn (fun m ->
+          m "Parallel.Pool: job %d quarantined after killing %d workers (%s)"
+            task.id task.kills (Printexc.to_string e));
+      Some record
+    end
+    else begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty;
+      None
+    end
+  in
   (* Reserve the restart slot under the lock so concurrent deaths cannot
      oversubscribe the budget; the backoff sleep and the spawn run outside
      it (the spawn re-checks [stopping]). *)
@@ -139,6 +151,14 @@ let rec die t w task e bt =
     end
   in
   Mutex.unlock t.lock;
+  (* Quarantine callbacks run outside the pool lock so the receiving layer
+     (the serving daemon) can take its own locks or resubmit freely. *)
+  (match quarantined with
+  | Some record -> (
+      match task.on_quarantine with
+      | Some f -> ( try f record with _ -> ())
+      | None -> ())
+  | None -> ());
   match restart_no with
   | None ->
       Logs.warn (fun m ->
@@ -146,7 +166,8 @@ let rec die t w task e bt =
              pool continues with fewer workers" w)
   | Some n ->
       Obs.Metrics.bump m_restarts;
-      Unix.sleepf
+      Budget.sleepf ?budget:t.budget
+        ~stop:(fun () -> t.stopping)
         (Resilience.Policy.backoff t.policy ~attempt:(min n 16) ~salt:(Hashtbl.hash (w, n)));
       Mutex.lock t.lock;
       if t.stopping then Mutex.unlock t.lock
@@ -193,6 +214,9 @@ and worker_loop t w () =
             | Chaos.Killed _ as e -> `Died (e, Printexc.get_raw_backtrace ())
             | e ->
                 note_fault t e;
+                (match task.on_fault with
+                | Some f -> ( try f e with _ -> ())
+                | None -> ());
                 `Ok)
       in
       Obs.Metrics.observe m_task_run (Budget.now () -. dequeued_at);
@@ -203,7 +227,7 @@ and worker_loop t w () =
   in
   loop ()
 
-let create ?size ?chaos ?(policy = Resilience.Policy.default) () =
+let create ?size ?chaos ?budget ?(policy = Resilience.Policy.default) () =
   let size = clamp (Option.value size ~default:(default_size ())) in
   let t =
     {
@@ -214,6 +238,7 @@ let create ?size ?chaos ?(policy = Resilience.Policy.default) () =
       stopping = false;
       workers = [];
       chaos;
+      budget;
       policy;
       tasks_run = Atomic.make 0;
       dropped = Atomic.make 0;
@@ -256,13 +281,15 @@ let quarantine_records t =
   Mutex.unlock t.lock;
   List.rev q
 
-let submit t task =
+let submit ?on_fault ?on_quarantine t task =
   let task =
     {
       run = task;
       enqueued_at = Budget.now ();
       id = Atomic.fetch_and_add t.next_id 1;
       kills = 0;
+      on_fault;
+      on_quarantine;
     }
   in
   Mutex.lock t.lock;
@@ -287,6 +314,6 @@ let shutdown t =
      terminated ones join immediately. *)
   List.iter Domain.join workers
 
-let with_pool ?size ?chaos ?policy f =
-  let t = create ?size ?chaos ?policy () in
+let with_pool ?size ?chaos ?budget ?policy f =
+  let t = create ?size ?chaos ?budget ?policy () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -43,13 +43,18 @@ type stats = {
           sums to [tasks_run] once submitted work has finished *)
 }
 
-(** [create ?size ?chaos ?policy ()] spawns [size] worker domains. [size]
-    defaults to [Domain.recommended_domain_count () - 1] (the caller's
-    domain participates in {!Par} jobs, so [n] workers saturate [n + 1]
-    cores) and is clamped to [\[1, 128\]]. [chaos] injects seeded
-    faults/delays/kills before each task runs (testing only). [policy]
-    (default {!Resilience.Policy.default}) governs restart/retry/quarantine. *)
-val create : ?size:int -> ?chaos:Fault.t -> ?policy:Resilience.Policy.t -> unit -> t
+(** [create ?size ?chaos ?budget ?policy ()] spawns [size] worker domains.
+    [size] defaults to [Domain.recommended_domain_count () - 1] (the
+    caller's domain participates in {!Par} jobs, so [n] workers saturate
+    [n + 1] cores) and is clamped to [\[1, 128\]]. [chaos] injects seeded
+    faults/delays/kills before each task runs (testing only). [budget]
+    bounds the supervision machinery's backoff sleeps: cancelling it cuts
+    any in-progress restart backoff short instead of holding the worker
+    (and whatever job it will retry) hostage. [policy] (default
+    {!Resilience.Policy.default}) governs restart/retry/quarantine. *)
+val create :
+  ?size:int -> ?chaos:Fault.t -> ?budget:Budget.t ->
+  ?policy:Resilience.Policy.t -> unit -> t
 
 (** [size t] is the number of worker domains. *)
 val size : t -> int
@@ -68,15 +73,29 @@ val quarantine_records : t -> quarantine list
 (** [default_size ()] is the size {!create} picks when none is given. *)
 val default_size : unit -> int
 
-(** [submit t task] enqueues [task] for some worker. Never blocks. Raises
-    [Invalid_argument] if the pool was shut down. *)
-val submit : t -> (unit -> unit) -> unit
+(** [submit ?on_fault ?on_quarantine t task] enqueues [task] for some
+    worker. Never blocks. Raises [Invalid_argument] if the pool was shut
+    down.
+
+    [on_fault] is invoked (never holding the pool lock) when an exception
+    escaping [task] is dropped by the worker loop — without it the task
+    simply never "completes" from the submitter's point of view, which a
+    layer awaiting the task (the serving daemon) cannot afford.
+    [on_quarantine] is invoked (outside the pool lock) when the task is
+    quarantined after repeatedly killing workers. Exceptions raised by
+    either callback are swallowed. *)
+val submit :
+  ?on_fault:(exn -> unit) ->
+  ?on_quarantine:(quarantine -> unit) ->
+  t -> (unit -> unit) -> unit
 
 (** [shutdown t] drains the queue, joins every worker (including respawned
     ones) and frees the pool. Idempotent. Submitting after shutdown
     raises. *)
 val shutdown : t -> unit
 
-(** [with_pool ?size ?chaos ?policy f] runs [f pool] and shuts the pool
-    down afterwards, also on exceptions. *)
-val with_pool : ?size:int -> ?chaos:Fault.t -> ?policy:Resilience.Policy.t -> (t -> 'a) -> 'a
+(** [with_pool ?size ?chaos ?budget ?policy f] runs [f pool] and shuts the
+    pool down afterwards, also on exceptions. *)
+val with_pool :
+  ?size:int -> ?chaos:Fault.t -> ?budget:Budget.t ->
+  ?policy:Resilience.Policy.t -> (t -> 'a) -> 'a

@@ -94,7 +94,7 @@ let counts t =
    case, one empty-list check — no lock. Registration is rare (CLI startup,
    test setup) and goes through a CAS loop. *)
 
-let known_layers = [ "pool"; "csv"; "sampling"; "memo"; "checkpoint" ]
+let known_layers = [ "pool"; "csv"; "sampling"; "memo"; "checkpoint"; "server" ]
 
 let registry : (string * t) list Atomic.t = Atomic.make []
 

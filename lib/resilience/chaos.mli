@@ -9,7 +9,7 @@
 
     On top sits a process-global {e registry} keyed by layer name
     ({!known_layers}: ["pool"], ["csv"], ["sampling"], ["memo"],
-    ["checkpoint"]), so each layer can be independently fault-injected —
+    ["checkpoint"], ["server"]), so each layer can be independently fault-injected —
     from the CLI ([--chaos-layers]) or the environment
     ([AUTOBIAS_CHAOS_LAYERS]). Layers that are not configured pay one
     atomic load per probe. *)

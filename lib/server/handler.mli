@@ -1,0 +1,27 @@
+(** Request execution: one function from a typed {!Protocol.request} to a
+    response payload, threaded through the job's {!Budget}.
+
+    The served learn path is the CLI learn path — identical config
+    defaults, identical seed-derived RNG, full training split — so a
+    fixed-seed request through the daemon is bit-identical to the same run
+    via [autobias learn]. Handlers run sequentially inside ([pool = None]);
+    the daemon multiplexes whole jobs onto the worker pool instead. *)
+
+exception Bad_request of string
+(** Raised for malformed/unsatisfiable requests (unknown dataset, method,
+    strategy, non-positive scale). The daemon maps it to a [Failed]
+    response and never retries it. *)
+
+(** [default catalog ~budget request] executes [request], resolving its
+    dataset through [catalog]. Returns the response payload plus the
+    learner's degradation record ([None] for bias-only requests) — the
+    daemon decides Completed vs Degraded from the latter.
+
+    The budget is the {e job's} budget: its deadline makes the learner
+    anytime (expiry returns the best-so-far definition), and cancelling it
+    (drain timeout) winds the job down cooperatively. *)
+val default :
+  Catalog.t ->
+  budget:Budget.t ->
+  Protocol.request ->
+  Protocol.payload * Budget.degradation option

@@ -17,5 +17,6 @@ let () =
       ("prune", Test_prune.suite);
       ("robustness", Test_robustness.suite);
       ("resilience", Test_resilience.suite);
+      ("server", Test_server.suite);
       ("regressions", Test_regressions.suite);
     ]

@@ -1,0 +1,477 @@
+(* The serving layer: protocol totality, catalog sharing, daemon admission
+   control (the qcheck property: in-flight never exceeds the cap, every
+   rejection is typed, nothing is silently dropped), retry/quarantine,
+   deadline degradation, graceful drain, the chaos soak, and the
+   bit-identity of served results with direct library calls. *)
+
+module Protocol = Server.Protocol
+module Catalog = Server.Catalog
+module Daemon = Server.Daemon
+module Loadgen = Server.Loadgen
+
+let null_payload : Protocol.payload = []
+
+(* a handler that ignores the request: the daemon tests care about job
+   mechanics, not learning *)
+let handler_const ?(work = fun () -> ()) () ~budget:_ _req =
+  work ();
+  (null_payload, None)
+
+let learn_uw ?(seed = 7) ?(deadline = None) () =
+  Protocol.Learn
+    { (Protocol.default_common "uw") with scale = 0.15; seed; deadline }
+
+(* ---------------- protocol ---------------- *)
+
+let protocol_tests =
+  [
+    Alcotest.test_case "parse fills defaults and typed options" `Quick
+      (fun () ->
+        match
+          Protocol.parse_request
+            "learn uw method=autobias scale=0.5 seed=7 timeout=10 deadline=30"
+        with
+        | Ok (Protocol.Learn c) ->
+            Alcotest.(check string) "dataset" "uw" c.Protocol.dataset;
+            Alcotest.(check (float 0.)) "scale" 0.5 c.Protocol.scale;
+            Alcotest.(check int) "seed" 7 c.Protocol.seed;
+            Alcotest.(check (float 0.)) "timeout" 10. c.Protocol.timeout;
+            Alcotest.(check (option (float 0.)))
+              "deadline" (Some 30.) c.Protocol.deadline
+        | Ok _ -> Alcotest.fail "parsed to the wrong verb"
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "render/parse round-trips every verb" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            match Protocol.parse_request (Protocol.request_to_string r) with
+            | Ok r' ->
+                Alcotest.(check string)
+                  "round trip"
+                  (Protocol.request_to_string r)
+                  (Protocol.request_to_string r')
+            | Error e -> Alcotest.fail e)
+          [
+            Protocol.Induce_bias (Protocol.default_common "imdb");
+            learn_uw ~deadline:(Some 3.) ();
+            Protocol.Infer (Protocol.default_common "uw", 5);
+            Protocol.Explain (Protocol.default_common "hiv", 2);
+          ]);
+    Alcotest.test_case "parsing is total on malformed lines" `Quick (fun () ->
+        List.iter
+          (fun line ->
+            match Protocol.parse_request line with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail ("accepted malformed line: " ^ line))
+          [
+            "";
+            "learn";
+            "frobnicate uw";
+            "learn scale=2";
+            "learn uw scale=abc";
+            "learn uw seed=1.5";
+            "learn uw bogus";
+            "learn uw unknown=1";
+          ]);
+    Alcotest.test_case "responses and rejections render to valid JSON" `Quick
+      (fun () ->
+        let check_json j =
+          match Obs.Json.parse (Obs.Json.to_string j) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e
+        in
+        check_json
+          (Protocol.response_to_json
+             {
+               Protocol.id = 1;
+               outcome = Protocol.Completed [ ("x", Obs.Json.Int 1) ];
+               latency_s = 0.1;
+               attempts = 1;
+             });
+        check_json
+          (Protocol.response_to_json
+             {
+               Protocol.id = 2;
+               outcome =
+                 Protocol.Quarantined
+                   { attempts = 3; exn = "Chaos.Killed(4)"; backtrace = "bt" };
+               latency_s = 0.1;
+               attempts = 3;
+             });
+        check_json
+          (Protocol.rejection_to_json
+             (Protocol.Overloaded { retry_after = 0.25 }));
+        check_json (Protocol.rejection_to_json Protocol.Draining));
+  ]
+
+(* ---------------- catalog ---------------- *)
+
+let catalog_tests =
+  [
+    Alcotest.test_case "unknown dataset is a typed error, not an exception"
+      `Quick (fun () ->
+        let c = Catalog.create () in
+        match Catalog.load c ~name:"nope" ~scale:1. ~seed:1 with
+        | Error (Catalog.Unknown_dataset "nope") -> ()
+        | Error e -> Alcotest.fail (Catalog.error_to_string e)
+        | Ok _ -> Alcotest.fail "loaded a dataset that does not exist");
+    Alcotest.test_case "repeat load returns the same physical entry" `Quick
+      (fun () ->
+        let c = Catalog.create () in
+        let d1 =
+          Result.get_ok (Catalog.load c ~name:"uw" ~scale:0.15 ~seed:3)
+        in
+        let d2 =
+          Result.get_ok (Catalog.load c ~name:"uw" ~scale:0.15 ~seed:3)
+        in
+        Alcotest.(check bool) "physically shared" true (d1 == d2);
+        let d3 =
+          Result.get_ok (Catalog.load c ~name:"uw" ~scale:0.15 ~seed:4)
+        in
+        Alcotest.(check bool) "different seed, different entry" false (d1 == d3);
+        Alcotest.(check int) "two keys published" 2
+          (List.length (Catalog.loaded c)));
+  ]
+
+(* ---------------- admission control (qcheck) ---------------- *)
+
+(* 4 workers gives genuine concurrency above any cap the generator picks;
+   with_pool joins them every iteration so no domain outlives its case. *)
+let admission_property =
+  QCheck.Test.make ~name:"in-flight never exceeds the cap; no silent drops"
+    ~count:25
+    QCheck.(
+      triple (int_range 1 3) (int_range 0 3) (int_range 1 25))
+    (fun (max_in_flight, max_queue, jobs) ->
+      Parallel.Pool.with_pool ~size:4 @@ fun pool ->
+      let running = Atomic.make 0 in
+      let high_water = Atomic.make 0 in
+      let handler ~budget:_ _req =
+        let c = Atomic.fetch_and_add running 1 + 1 in
+        let rec bump () =
+          let m = Atomic.get high_water in
+          if c > m && not (Atomic.compare_and_set high_water m c) then bump ()
+        in
+        bump ();
+        Unix.sleepf 0.002;
+        Atomic.decr running;
+        (null_payload, None)
+      in
+      let daemon =
+        Daemon.create ~pool
+          ~config:
+            {
+              Daemon.default_config with
+              max_in_flight;
+              max_queue;
+              max_attempts = 1;
+            }
+          handler
+      in
+      let accepted = ref [] and rejected = ref 0 in
+      for i = 0 to jobs - 1 do
+        match Daemon.submit daemon (learn_uw ~seed:i ()) with
+        | Ok job -> accepted := job :: !accepted
+        | Error (Protocol.Overloaded { retry_after }) ->
+            if retry_after < 0. then
+              QCheck.Test.fail_report "negative retry_after";
+            incr rejected
+        | Error Protocol.Draining ->
+            QCheck.Test.fail_report "Draining without a drain"
+      done;
+      let responses = List.map (Daemon.await daemon) !accepted in
+      let stats = Daemon.stats daemon in
+      List.length !accepted + !rejected = jobs
+      && stats.Daemon.submitted = List.length !accepted
+      && stats.Daemon.rejected = !rejected
+      && List.length responses = List.length !accepted
+      && Atomic.get high_water <= max_in_flight
+      && stats.Daemon.in_flight = 0
+      && stats.Daemon.waiting = 0)
+
+(* ---------------- retry / quarantine ---------------- *)
+
+let fast_retry =
+  {
+    Resilience.Policy.default with
+    backoff_base_s = 0.001;
+    backoff_max_s = 0.002;
+  }
+
+let retry_tests =
+  [
+    Alcotest.test_case "poisoned job is quarantined with its backtrace"
+      `Quick (fun () ->
+        let handler ~budget:_ _req = failwith "poison" in
+        let daemon =
+          Daemon.create
+            ~config:
+              {
+                Daemon.default_config with
+                max_attempts = 3;
+                policy = fast_retry;
+              }
+            handler
+        in
+        match Daemon.submit_and_wait daemon (learn_uw ()) with
+        | Ok
+            {
+              Protocol.outcome =
+                Protocol.Quarantined { attempts = consumed; exn; _ };
+              attempts;
+              _;
+            } ->
+            Alcotest.(check int) "attempts consumed" 3 consumed;
+            Alcotest.(check int) "response attempts" 3 attempts;
+            Alcotest.(check bool)
+              "exception recorded" true
+              (String.length exn > 0);
+            let stats = Daemon.stats daemon in
+            Alcotest.(check int) "quarantined tally" 1 stats.Daemon.quarantined;
+            Alcotest.(check int) "retries tally" 2 stats.Daemon.retries
+        | Ok r ->
+            Alcotest.fail
+              ("expected quarantine, got " ^ Protocol.status_of_outcome
+                                               r.Protocol.outcome)
+        | Error _ -> Alcotest.fail "rejected");
+    Alcotest.test_case "transient fault is retried to completion" `Quick
+      (fun () ->
+        let first = Atomic.make true in
+        let handler ~budget:_ _req =
+          if Atomic.compare_and_set first true false then failwith "transient"
+          else (null_payload, None)
+        in
+        let daemon =
+          Daemon.create
+            ~config:
+              {
+                Daemon.default_config with
+                max_attempts = 3;
+                policy = fast_retry;
+              }
+            handler
+        in
+        match Daemon.submit_and_wait daemon (learn_uw ()) with
+        | Ok { Protocol.outcome = Protocol.Completed _; attempts; _ } ->
+            Alcotest.(check int) "second attempt succeeded" 2 attempts;
+            Alcotest.(check int) "one retry" 1 (Daemon.stats daemon).Daemon.retries
+        | Ok r ->
+            Alcotest.fail
+              ("expected completion, got " ^ Protocol.status_of_outcome
+                                               r.Protocol.outcome)
+        | Error _ -> Alcotest.fail "rejected");
+    Alcotest.test_case "a bad request fails without burning retries" `Quick
+      (fun () ->
+        let handler ~budget:_ _req =
+          raise (Server.Handler.Bad_request "no such thing")
+        in
+        let daemon = Daemon.create handler in
+        match Daemon.submit_and_wait daemon (learn_uw ()) with
+        | Ok { Protocol.outcome = Protocol.Failed msg; attempts; _ } ->
+            Alcotest.(check string) "message" "no such thing" msg;
+            Alcotest.(check int) "first attempt" 1 attempts;
+            Alcotest.(check int) "no retries" 0
+              (Daemon.stats daemon).Daemon.retries
+        | Ok r ->
+            Alcotest.fail
+              ("expected failure, got " ^ Protocol.status_of_outcome
+                                            r.Protocol.outcome)
+        | Error _ -> Alcotest.fail "rejected");
+  ]
+
+(* ---------------- deadlines and drain ---------------- *)
+
+let spin_until_expired ~budget _req =
+  while not (Budget.expired budget) do
+    Unix.sleepf 0.001
+  done;
+  (null_payload, Some (Budget.degradation budget))
+
+let deadline_tests =
+  [
+    Alcotest.test_case "an expired job answers degraded, not dead" `Quick
+      (fun () ->
+        let daemon = Daemon.create spin_until_expired in
+        match
+          Daemon.submit_and_wait daemon (learn_uw ~deadline:(Some 0.05) ())
+        with
+        | Ok { Protocol.outcome = Protocol.Degraded (_, d); _ } ->
+            Alcotest.(check string)
+              "deadline hit" "deadline_hit"
+              (Budget.status_to_string d.Budget.status)
+        | Ok r ->
+            Alcotest.fail
+              ("expected degraded, got " ^ Protocol.status_of_outcome
+                                             r.Protocol.outcome)
+        | Error _ -> Alcotest.fail "rejected");
+    Alcotest.test_case "config default_deadline applies when unset" `Quick
+      (fun () ->
+        let daemon =
+          Daemon.create
+            ~config:
+              { Daemon.default_config with default_deadline = Some 0.05 }
+            spin_until_expired
+        in
+        match Daemon.submit_and_wait daemon (learn_uw ()) with
+        | Ok { Protocol.outcome = Protocol.Degraded _; _ } -> ()
+        | Ok r ->
+            Alcotest.fail
+              ("expected degraded, got " ^ Protocol.status_of_outcome
+                                             r.Protocol.outcome)
+        | Error _ -> Alcotest.fail "rejected");
+    Alcotest.test_case
+      "drain cancels stragglers into best-so-far and closes admission"
+      `Quick (fun () ->
+        Parallel.Pool.with_pool ~size:2 (fun pool ->
+            let daemon = Daemon.create ~pool spin_until_expired in
+            let jobs =
+              List.init 2 (fun i ->
+                  Result.get_ok (Daemon.submit daemon (learn_uw ~seed:i ())))
+            in
+            Daemon.drain ~deadline:0.05 daemon;
+            List.iter
+              (fun job ->
+                match Daemon.await daemon job with
+                | { Protocol.outcome = Protocol.Degraded (_, d); _ } ->
+                    Alcotest.(check string)
+                      "cancelled" "cancelled"
+                      (Budget.status_to_string d.Budget.status)
+                | r ->
+                    Alcotest.fail
+                      ("expected cancelled, got "
+                      ^ Protocol.status_of_outcome r.Protocol.outcome))
+              jobs;
+            match Daemon.submit daemon (learn_uw ()) with
+            | Error Protocol.Draining -> ()
+            | Error _ -> Alcotest.fail "wrong rejection while draining"
+            | Ok _ -> Alcotest.fail "admitted a job while draining"));
+  ]
+
+(* ---------------- chaos soak ---------------- *)
+
+let soak_tests =
+  [
+    Alcotest.test_case
+      "chaos soak: every job ends in exactly one typed outcome" `Quick
+      (fun () ->
+        let chaos =
+          Parallel.Fault.create ~p_fault:0.3 ~p_kill:0.15 ~seed:11 ()
+        in
+        Parallel.Pool.with_pool ~size:3 ~chaos ~policy:fast_retry
+          (fun pool ->
+            let daemon =
+              Daemon.create ~pool
+                ~config:
+                  {
+                    Daemon.default_config with
+                    max_in_flight = 3;
+                    max_queue = 2;
+                    max_attempts = 3;
+                    policy = fast_retry;
+                  }
+                (handler_const ~work:(fun () -> Unix.sleepf 0.002) ())
+            in
+            let summary =
+              Loadgen.run ~clients:5 ~jobs:60 ~reject_retries:50 daemon
+                (fun i -> learn_uw ~seed:i ())
+            in
+            Daemon.drain ~deadline:5. daemon;
+            Alcotest.(check bool)
+              "every job accounted" true summary.Loadgen.accounted;
+            Alcotest.(check int) "all indices consumed" 60 summary.Loadgen.jobs;
+            Alcotest.(check bool)
+              "fault injection actually exercised the retry path" true
+              (summary.Loadgen.retries > 0
+              || summary.Loadgen.quarantined > 0)));
+    Alcotest.test_case "supervision backoff respects a cancelled budget"
+      `Quick (fun () ->
+        (* every task kills its worker and the restart backoff is 2s: only
+           the budget-interruptible sleep lets this finish fast *)
+        let chaos = Parallel.Fault.create ~p_kill:1.0 ~seed:5 () in
+        let budget = Budget.create () in
+        Budget.cancel budget;
+        let slow_restarts =
+          {
+            Resilience.Policy.default with
+            backoff_base_s = 2.0;
+            backoff_max_s = 4.0;
+          }
+        in
+        let t0 = Budget.now () in
+        let quarantined = ref false in
+        Parallel.Pool.with_pool ~size:1 ~chaos ~budget ~policy:slow_restarts
+          (fun pool ->
+            let done_ = Atomic.make false in
+            Parallel.Pool.submit pool
+              ~on_quarantine:(fun _ ->
+                quarantined := true;
+                Atomic.set done_ true)
+              (fun () -> ());
+            let rec wait n =
+              if (not (Atomic.get done_)) && n < 2000 then begin
+                Unix.sleepf 0.005;
+                wait (n + 1)
+              end
+            in
+            wait 0);
+        Alcotest.(check bool) "job quarantined" true !quarantined;
+        Alcotest.(check bool)
+          "backoff was interrupted (< 1.5s, not 2s+ per restart)" true
+          (Budget.now () -. t0 < 1.5));
+  ]
+
+(* ---------------- determinism ---------------- *)
+
+let determinism_tests =
+  [
+    Alcotest.test_case
+      "served learn is bit-identical to the direct library call" `Slow
+      (fun () ->
+        let catalog = Catalog.create () in
+        let daemon = Daemon.create (Server.Handler.default catalog) in
+        let request = learn_uw ~seed:7 () in
+        let served () =
+          match Daemon.submit_and_wait daemon request with
+          | Ok { Protocol.outcome = Protocol.Completed payload; _ } -> (
+              match List.assoc_opt "definition" payload with
+              | Some (Obs.Json.Str s) -> s
+              | _ -> Alcotest.fail "no definition in payload")
+          | Ok r ->
+              Alcotest.fail
+                ("serve did not complete: "
+                ^ Protocol.status_of_outcome r.Protocol.outcome)
+          | Error _ -> Alcotest.fail "rejected"
+        in
+        let s1 = served () in
+        let s2 = served () in
+        Alcotest.(check string) "replay is deterministic" s1 s2;
+        let c = Protocol.common_of_request request in
+        let d =
+          Result.get_ok
+            (Catalog.load catalog ~name:"uw" ~scale:c.Protocol.scale
+               ~seed:c.Protocol.seed)
+        in
+        let config =
+          {
+            Autobias.default_config with
+            strategy = Sampling.Strategy.of_string c.Protocol.strategy;
+            timeout = Some c.Protocol.timeout;
+            pool = None;
+          }
+        in
+        let rng = Random.State.make [| c.Protocol.seed |] in
+        let r =
+          Autobias.learn_once ~config
+            (Autobias.method_of_string c.Protocol.method_)
+            d ~rng
+            ~train_pos:d.Datasets.Dataset.positives
+            ~train_neg:d.Datasets.Dataset.negatives
+        in
+        Alcotest.(check string)
+          "identical to direct call" s1
+          (Logic.Clause.definition_to_string r.Autobias.definition));
+  ]
+
+let suite =
+  protocol_tests @ catalog_tests
+  @ [ QCheck_alcotest.to_alcotest admission_property ]
+  @ retry_tests @ deadline_tests @ soak_tests @ determinism_tests

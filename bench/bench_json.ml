@@ -64,14 +64,24 @@ let value_to_string = function
   | S s -> Printf.sprintf "\"%s\"" (escape s)
   | B b -> string_of_bool b
 
+(* Canonical key order: sorted, duplicates collapsed to the last recorded
+   value. Byte-stable output whatever order experiments ran or re-recorded
+   in — the regression sentinel diffs these files and history lines across
+   runs, so incidental ordering churn must not look like change. *)
+let canonical metrics =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) metrics;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let metrics_to_string metrics =
-  metrics
+  canonical metrics
   |> List.map (fun (k, v) ->
          Printf.sprintf "\"%s\": %s" (escape k) (value_to_string v))
   |> String.concat ", "
 
-(* Merge repeated records of one experiment, preserving first-seen order of
-   both experiments and keys. *)
+(* Merge repeated records of one experiment; experiments come out sorted by
+   name (key order inside each is handled by [canonical]). *)
 let merged () =
   let order = ref [] in
   let tbl = Hashtbl.create 16 in
@@ -84,6 +94,7 @@ let merged () =
       Hashtbl.replace tbl exp (Hashtbl.find tbl exp @ metrics))
     !records;
   List.rev_map (fun exp -> (exp, Hashtbl.find tbl exp)) !order
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let write path =
   let oc = open_out path in
@@ -99,4 +110,25 @@ let write path =
   (match !report with
   | Some j -> Printf.fprintf oc "  },\n  \"run_report\": %s\n}\n" j
   | None -> Printf.fprintf oc "  }\n}\n");
+  close_out oc
+
+(* {2 The bench history} — one compact JSON line per bench run, appended to
+   an ever-growing JSONL file. The regression sentinel (bin/autobias_obs
+   --gate) reads the newest line and compares it against the committed
+   baseline; the provenance fields in meta say which commit/host/core-count
+   produced each line. *)
+
+let history_line () =
+  Printf.sprintf "{\"meta\": {%s}, \"experiments\": {%s}}"
+    (metrics_to_string !meta)
+    (merged ()
+    |> List.map (fun (exp, metrics) ->
+           Printf.sprintf "\"%s\": {%s}" (escape exp)
+             (metrics_to_string metrics))
+    |> String.concat ", ")
+
+let append_history path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  output_string oc (history_line ());
+  output_char oc '\n';
   close_out oc

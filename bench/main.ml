@@ -1510,6 +1510,18 @@ let () =
         ~seed:options.seed layers
   | None -> ());
   if options.trace <> None then Obs.Trace.enable ();
+  (* Provenance: the regression sentinel compares history lines across
+     runs, so every line must say which commit/host/toolchain produced it.
+     Best-effort — a bench run outside a git checkout still benches. *)
+  let git_commit =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
   Bench_json.set_meta
     [ ("seed", Bench_json.I options.seed);
       ("folds", Bench_json.I options.folds);
@@ -1520,6 +1532,10 @@ let () =
        | Some n -> Bench_json.I n
        | None -> Bench_json.S "sequential");
       ("cores_recommended", Bench_json.I (Domain.recommended_domain_count ()));
+      ("git_commit", Bench_json.S git_commit);
+      ("hostname", Bench_json.S (Unix.gethostname ()));
+      ("ocaml_version", Bench_json.S Sys.ocaml_version);
+      ("timestamp_s", Bench_json.F (Unix.gettimeofday ()));
       ("experiments", Bench_json.S (String.concat "," chosen)) ];
   let completed = ref [] in
   let failed = ref [] in
@@ -1539,7 +1555,10 @@ let () =
              (String.concat "; "
                 (List.rev_map (fun (n, m) -> n ^ ": " ^ m) !failed))) ];
       Bench_json.write "BENCH_autobias.json";
-      Fmt.pr "@.machine-readable metrics written to BENCH_autobias.json@.")
+      Bench_json.append_history "BENCH_history.jsonl";
+      Fmt.pr
+        "@.machine-readable metrics written to BENCH_autobias.json (history \
+         line appended to BENCH_history.jsonl)@.")
   @@ fun () ->
   let (), total =
     Obs.Trace.time (fun () ->

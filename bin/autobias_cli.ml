@@ -141,9 +141,30 @@ let metrics_arg =
   let doc =
     "Write a machine-readable run report to $(docv) as JSON: run \
      configuration, degradation counters, the metrics snapshot \
-     (counters/gauges/latency histograms) and per-phase timings."
+     (counters/gauges/latency histograms), the search funnel and per-phase \
+     timings."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let events_arg =
+  let doc =
+    "Record the structured wide-event log (clause accepted, checkpoint \
+     written, chaos injections, ...) and write it to $(docv) as JSON \
+     lines after the run — also on Ctrl-C, via an atomic tmp+rename. Like \
+     --trace, recording never touches any RNG, so the learned definition \
+     is identical with and without it."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let funnel_arg =
+  let doc =
+    "Print the search-funnel tree after the run: per beam step, where \
+     every generated candidate went (prune-store hit, memo-served, \
+     inherited from its parent, really evaluated) and how many entered \
+     the beam. Purely observational — results are bit-identical with and \
+     without it."
+  in
+  Arg.(value & flag & info [ "funnel" ] ~doc)
 
 (* Enable the tracer when asked, run the command, then export the trace and
    the run report — also on exceptions, so a run cut by Ctrl-C still leaves
@@ -151,8 +172,11 @@ let metrics_arg =
    [~note_degradation] to attach the run's budget accounting to the report
    and [~note_extra] to append further top-level report entries (chaos
    snapshot, pool quarantine, CSV skips, checkpoint info). *)
-let with_observability ~trace ~metrics ~name ~config k =
+let with_observability ~trace ~events ~funnel ~metrics ~name ~config k =
   if trace <> None then Obs.Trace.enable ();
+  Option.iter Obs.Events.configure events;
+  (* a fresh funnel window per run: the registry is process-global *)
+  Obs.Funnel.reset ();
   let degradation = ref None in
   let extra = ref [] in
   let finish () =
@@ -161,6 +185,12 @@ let with_observability ~trace ~metrics ~name ~config k =
         Fmt.pr "%s" (Obs.Trace.summary_string ());
         Obs.Trace.export_json path;
         Fmt.pr "wrote trace to %s@." path
+    | None -> ());
+    if funnel then Fmt.pr "%s" (Obs.Funnel.to_string (Obs.Funnel.snapshot ()));
+    (match events with
+    | Some path ->
+        Obs.Events.flush ();
+        Fmt.pr "wrote event log to %s@." path
     | None -> ());
     match metrics with
     | Some path ->
@@ -368,7 +398,8 @@ let load_definition path =
 let learn_cmd =
   let run dataset_name method_name strategy scale seed timeout deadline domains
       chaos chaos_layers chaos_kill checkpoint checkpoint_every resume
-      kill_after no_cache no_compiled no_prune cv show_bias output trace metrics =
+      kill_after no_cache no_compiled no_prune cv show_bias output trace events
+      funnel metrics =
     let dataset = dataset_of_name ~scale ~seed dataset_name in
     let method_ = Autobias.method_of_string method_name in
     let report_config =
@@ -385,8 +416,8 @@ let learn_cmd =
             match domains with Some d -> Int d | None -> Null );
         ]
     in
-    with_observability ~trace ~metrics ~name:("learn:" ^ dataset_name)
-      ~config:report_config
+    with_observability ~trace ~events ~funnel ~metrics
+      ~name:("learn:" ^ dataset_name) ~config:report_config
     @@ fun ~note_degradation ~note_extra ->
     with_resources ~seed ~deadline ~domains ~chaos ~chaos_layers ~chaos_kill
     @@ fun ~budget pool ->
@@ -542,7 +573,7 @@ let learn_cmd =
       $ chaos_kill_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
       $ kill_after_arg $ no_cache_arg $ no_compiled_arg $ no_prune_arg $ cv_arg
       $ show_bias_arg
-      $ output_arg $ trace_arg $ metrics_arg)
+      $ output_arg $ trace_arg $ events_arg $ funnel_arg $ metrics_arg)
 
 (* ---------------- bias ---------------- *)
 

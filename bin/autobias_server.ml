@@ -48,8 +48,10 @@ let configure_chaos ~chaos ~chaos_layers ~chaos_kill ~seed =
   | None -> ()
 
 let serve domains max_in_flight max_queue default_deadline max_attempts seed
-    chaos chaos_layers chaos_kill drain_deadline report sync =
+    chaos chaos_layers chaos_kill drain_deadline report trace events sync =
   configure_chaos ~chaos ~chaos_layers ~chaos_kill ~seed;
+  if trace <> None then Obs.Trace.enable ();
+  Option.iter Obs.Events.configure events;
   let catalog = Server.Catalog.create () in
   let handler = Server.Handler.default catalog in
   let config =
@@ -78,6 +80,15 @@ let serve domains max_in_flight max_queue default_deadline max_attempts seed
       if not !finished then begin
         finished := true;
         Server.Daemon.drain ?deadline:drain_deadline daemon;
+        (* Flush the observability streams only after the drain: the jobs
+           are quiescent, so the exported trace and event log are complete
+           and the rename-into-place write cannot race a worker. *)
+        (match trace with
+        | Some path ->
+            Obs.Trace.export_json path;
+            Printf.eprintf "wrote trace to %s\n%!" path
+        | None -> ());
+        if Obs.Events.enabled () then Obs.Events.flush ();
         match report with
         | Some path ->
             Obs.Run_report.write
@@ -99,6 +110,9 @@ let serve domains max_in_flight max_queue default_deadline max_attempts seed
               | "stats" ->
                   print_json
                     (Server.Daemon.stats_to_json (Server.Daemon.stats daemon));
+                  loop ()
+              | "stats deep" ->
+                  print_json (Server.Daemon.deep_stats_json ~catalog daemon);
                   loop ()
               | "drain" ->
                   Server.Daemon.drain ?deadline:drain_deadline daemon;
@@ -205,6 +219,21 @@ let () =
                $(docv) on shutdown." in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Enable span tracing and write the Chrome trace JSON to $(docv) on \
+       shutdown (after the drain); each job's learner spans are tagged \
+       with its job id."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let events_arg =
+    let doc =
+      "Enable the structured wide-event log and write it (one JSON object \
+       per line) to $(docv) on shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
   let sync_arg =
     let doc =
       "Answer each request in place before reading the next line (single- \
@@ -220,6 +249,6 @@ let () =
       const serve $ domains_arg $ max_in_flight_arg $ max_queue_arg
       $ default_deadline_arg $ max_attempts_arg $ seed_arg $ chaos_arg
       $ chaos_layers_arg $ chaos_kill_arg $ drain_deadline_arg $ report_arg
-      $ sync_arg)
+      $ trace_arg $ events_arg $ sync_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

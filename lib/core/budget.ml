@@ -81,13 +81,17 @@ type t = {
   deadline : float option;  (** absolute, per scope *)
   cancelled : bool Atomic.t;  (** shared across scopes *)
   cells : int Atomic.t array;  (** shared across scopes *)
+  job : string option;  (** trace-context label, inherited by scopes *)
+  phase : string Atomic.t;  (** last phase note, shared across scopes *)
 }
 
-let create ?deadline () =
+let create ?job ?deadline () =
   {
     deadline = Option.map (fun s -> now () +. s) deadline;
     cancelled = Atomic.make false;
     cells = Array.init n_events (fun _ -> Atomic.make 0);
+    job;
+    phase = Atomic.make "";
   }
 
 let scope ?deadline parent =
@@ -97,7 +101,14 @@ let scope ?deadline parent =
     | None, d | d, None -> d
     | Some a, Some b -> Some (min a b)
   in
-  { deadline; cancelled = parent.cancelled; cells = parent.cells }
+  { deadline; cancelled = parent.cancelled; cells = parent.cells;
+    job = parent.job; phase = parent.phase }
+
+let job t = t.job
+
+let set_phase t p = Atomic.set t.phase p
+
+let phase t = Atomic.get t.phase
 
 let deadline_at t = t.deadline
 

@@ -24,14 +24,30 @@ val pp_status : Format.formatter -> status -> unit
 exception Expired of status
 (** Raised by {!check}; never [Expired Completed]. *)
 
-(** [create ?deadline ()] is a fresh budget; [deadline] is wall-clock
-    seconds from now ([None] = unbounded). *)
-val create : ?deadline:float -> unit -> t
+(** [create ?job ?deadline ()] is a fresh budget; [deadline] is wall-clock
+    seconds from now ([None] = unbounded). [job] is an opaque trace-context
+    label (e.g. the daemon's ["job-3"]) carried by the budget so every layer
+    the budget reaches — pool workers, the learner, the tracer — can tag
+    its telemetry with the owning job. *)
+val create : ?job:string -> ?deadline:float -> unit -> t
 
 (** [scope ?deadline parent] is a child budget sharing [parent]'s
-    cancellation flag and counters, whose deadline is the earlier of
-    [parent]'s and now + [deadline]. Cancelling either cancels both. *)
+    cancellation flag, counters, job label and phase cell, whose deadline is
+    the earlier of [parent]'s and now + [deadline]. Cancelling either
+    cancels both. *)
 val scope : ?deadline:float -> t -> t
+
+(** [job t] is the trace-context label minted at {!create}. *)
+val job : t -> string option
+
+(** [set_phase t p] notes the phase the budget's owner is currently in
+    (["beam_step 2"], ["reduce"], …). One atomic store; shared across
+    {!scope} children so a daemon can read a job's live phase from another
+    domain. *)
+val set_phase : t -> string -> unit
+
+(** [phase t] is the last phase note ([""] before any {!set_phase}). *)
+val phase : t -> string
 
 (** [now ()] is a monotonized [Unix.gettimeofday]: the value never
     decreases across calls, even if the system clock steps backwards. *)

@@ -327,19 +327,21 @@ let blocking_key t clause i =
       Some (Logic.Compiled.key_segment key ~index:i)
   | None -> None
 
-(** [eval t clause example] evaluates [clause] against [example] with the
-    substitution-set prefix evaluator: [Covered w] with a witness, or
+(** [eval_src t clause example] evaluates [clause] against [example] with
+    the substitution-set prefix evaluator: [Covered w] with a witness, or
     [Blocked i] with the 1-based index of the blocking body literal — the
     primitive ARMG needs (Section 2.3.2). [Blocked 0] means the head itself
     cannot be bound to the example. Verdicts are served from the memo when
-    enabled; a memoized verdict is identical to a recomputed one. *)
-let eval t clause example =
+    enabled; a memoized verdict is identical to a recomputed one. The
+    second component reports whether the memo served it — the search-funnel
+    accounting wants to know, the verdict itself never depends on it. *)
+let eval_src t clause example =
   match t.memo with
-  | None -> compute t clause example
+  | None -> (compute t clause example, false)
   (* "memo" chaos: pretend the cache lost this entry — bypass the probe
      and the insert and recompute. Purity of verdicts means the answer is
      identical, so chaos here degrades throughput, never correctness. *)
-  | Some _ when Chaos.fires "memo" -> compute t clause example
+  | Some _ when Chaos.fires "memo" -> (compute t clause example, false)
   | Some m -> (
       let clause_key =
         match t.compiled with
@@ -356,7 +358,7 @@ let eval t clause example =
       | Some v ->
           Atomic.incr m.hits;
           Budget.hit_opt t.budget Budget.Coverage_memo_hit;
-          v
+          (v, true)
       | None ->
           Atomic.incr m.misses;
           Budget.hit_opt t.budget Budget.Coverage_memo_miss;
@@ -365,13 +367,24 @@ let eval t clause example =
           if Hashtbl.length tbl < memo_stripe_cap && not (Hashtbl.mem tbl key)
           then Hashtbl.add tbl key v;
           Mutex.unlock lock;
-          v)
+          (v, false))
+
+let eval t clause example = fst (eval_src t clause example)
 
 (** [covers t clause example] tests whether [clause] covers [example]. *)
 let covers t clause example =
   match eval t clause example with
   | Logic.Subsumption.Covered _ -> true
   | Logic.Subsumption.Blocked _ -> false
+
+(** [covers_src t clause example] — {!covers} plus whether the verdict came
+    out of the verdict memo. *)
+let covers_src t clause example =
+  let v, memo = eval_src t clause example in
+  ((match v with
+    | Logic.Subsumption.Covered _ -> true
+    | Logic.Subsumption.Blocked _ -> false),
+   memo)
 
 (** [covers_prefix t clause k example] is [covers] restricted to the first
     [k] body literals. *)

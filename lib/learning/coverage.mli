@@ -114,6 +114,13 @@ val import_constraints : t -> string -> unit
 
 val covers : t -> Logic.Clause.t -> Relational.Relation.tuple -> bool
 
+(** [covers_src t clause example] — {!covers} plus whether the verdict was
+    served from the verdict memo ([true]) rather than computed (or answered
+    by the failure-constraint store). The verdict is identical either way;
+    the flag only feeds {!Learn}'s search-funnel accounting, which wants to
+    know whether a candidate cost any real subsumption work. *)
+val covers_src : t -> Logic.Clause.t -> Relational.Relation.tuple -> bool * bool
+
 (** [covers_prefix t clause k example] — [covers] restricted to the first
     [k] body literals. *)
 val covers_prefix : t -> Logic.Clause.t -> int -> Relational.Relation.tuple -> bool

@@ -145,6 +145,17 @@ type scored = {
 
 let clause_key c = Logic.Clause.to_string c
 
+(* Search-funnel classification of one scored candidate: how was its
+   verdict settled? Exactly one class per resolved candidate, so the
+   per-step funnel invariant
+   [generated = prune_hit + memo_hit + inherited + evaluated] holds by
+   construction. The classes are mutually exclusive by precedence: a
+   prune-store shortcut wins (no coverage call at all), then "every example
+   inherited from the ARMG parent", then "every coverage call served by the
+   verdict memo", and anything that cost at least one real subsumption
+   evaluation counts as evaluated. *)
+type funnel_class = F_pruned | F_inherited | F_memo | F_evaluated
+
 (* Observability handles (module-init registration; see lib/obs). Candidate
    and acceptance totals overlap with the per-run [stats] record on purpose:
    these aggregate across every learn call in the process, which is what a
@@ -191,6 +202,7 @@ let take = Logic.Util.take
    {!scored}: the result carries {e complete} covered sets (no staged
    early-outs here), so the caller needs no re-evaluation pass. *)
 let reduce ~cov ~budget ~pos_weight ~neg_weight ~eval_pos ~eval_neg best =
+  Budget.set_phase budget "reduce";
   Obs.Trace.span ~cat:"learn" "reduce" @@ fun () ->
   Obs.Trace.arg "body_lits_in" (string_of_int (Logic.Clause.size best.clause));
   (* Full evaluation of [clause], inheriting the verified-covered entries of
@@ -298,9 +310,27 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
     let pos_cov = Array.make n_pos false in
     let neg_cov = Array.make n_neg false in
     let inherited = ref 0 in
-    let finish s =
+    (* Funnel bookkeeping: coverage calls made for this candidate, and how
+       many the verdict memo served. Local refs — [evaluate] runs whole on
+       one domain, so no coordination, and recording happens later on the
+       coordinator. *)
+    let calls = ref 0 in
+    let memo_calls = ref 0 in
+    let covers_counted clause e =
+      incr calls;
+      let covered, from_memo = Coverage.covers_src cov clause e in
+      if from_memo then incr memo_calls;
+      covered
+    in
+    let finish ?(pruned = false) s =
       Budget.add budget Budget.Coverage_inherited !inherited;
-      s
+      let cls =
+        if pruned then F_pruned
+        else if !calls = 0 then F_inherited
+        else if !memo_calls = !calls then F_memo
+        else F_evaluated
+      in
+      (s, cls)
     in
     let count_pos lo hi =
       let c = ref 0 in
@@ -310,7 +340,7 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
           | Some p when p.pos_cov.(i) ->
               incr inherited;
               true
-          | _ -> Coverage.covers cov clause eval_pos_arr.(i)
+          | _ -> covers_counted clause eval_pos_arr.(i)
         in
         if covered then begin
           pos_cov.(i) <- true;
@@ -352,7 +382,7 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
               incr inherited
           | _ -> ()
         done;
-        finish
+        finish ~pruned:true
           { clause; pos_covered = p_probe; neg_covered = 0;
             score = pos_weight *. float_of_int p_probe; pos_cov; neg_cov }
     | None ->
@@ -373,7 +403,7 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
              | Some p when p.neg_cov.(i) ->
                  incr inherited;
                  true
-             | _ -> Coverage.covers cov clause eval_neg_arr.(i)
+             | _ -> covers_counted clause eval_neg_arr.(i)
            in
            if covered then begin
              neg_cov.(i) <- true;
@@ -395,6 +425,7 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
         }
     end
   in
+  Budget.set_phase budget "bottom_clause";
   let bottom =
     Bottom_clause.build ~config:config.bc (Coverage.database cov)
       (Coverage.bias cov) ~rng ~example:seed
@@ -426,6 +457,7 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
     && not (Budget.expired budget)
   do
     incr steps;
+    Budget.set_phase budget (Printf.sprintf "beam_step %d" !steps);
     Obs.Trace.span ~cat:"learn" "beam_step" @@ fun () ->
     Obs.Trace.arg "step" (string_of_int !steps);
     let targets = sample_list rng config.generalization_sample uncovered in
@@ -482,7 +514,8 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
         (fun (clause, parent) -> evaluate ~parent clause)
         (List.rev !collected)
     in
-    let candidates = List.rev (List.filter_map Fun.id outcomes) in
+    let resolved = List.filter_map Fun.id outcomes in
+    let candidates = List.rev (List.map fst resolved) in
     Obs.Trace.arg "candidates" (string_of_int (List.length candidates));
     Budget.add budget Budget.Candidate_abandoned
       (List.length outcomes - List.length candidates);
@@ -492,6 +525,26 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
       List.fold_left (fun acc s -> min acc (Logic.Clause.size s.clause)) max_int !beam
     in
     beam := take config.beam_width sorted;
+    (* Funnel accounting, folded here on the coordinator from the class tag
+       each evaluation carried back — no shared state in the scoring hot
+       path. [generated] counts only resolved outcomes (abandoned
+       candidates have no class), so the per-step invariant
+       [generated = prune_hit + memo_hit + inherited + evaluated] holds
+       unconditionally; [accepted] is how many of this step's candidates
+       made the new beam. *)
+    let n_class want =
+      List.fold_left
+        (fun acc (_, c) -> if c = want then acc + 1 else acc)
+        0 resolved
+    in
+    Obs.Funnel.record ~step:!steps
+      ~generated:(List.length resolved)
+      ~prune_hit:(n_class F_pruned) ~memo_hit:(n_class F_memo)
+      ~inherited:(n_class F_inherited) ~evaluated:(n_class F_evaluated)
+      ~accepted:
+        (List.fold_left
+           (fun acc s -> if List.memq s !beam then acc + 1 else acc)
+           0 candidates);
     let new_best = List.hd !beam in
     let score_improved = better new_best !best in
     if score_improved then best := new_best;
@@ -526,7 +579,7 @@ let learn_clause ~config ~cov ~rng ~budget ~candidates_evaluated ~uncovered
      positives. Failing evaluations die on the first blocked literal, so
      this is cheap for genuinely hopeless seeds. *)
   if !best.clause == bottom && not (Budget.expired budget) then
-    best := evaluate bottom;
+    best := fst (evaluate bottom);
   (* Reduce the winner; {!reduce} re-scores it fully on the ranking samples
      (inheriting the verified entries accumulated so far), so callers see
      consistent numbers; acceptance re-checks on the full sets anyway.
@@ -656,6 +709,15 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
           }
         in
         let outcome = try sink ck with _ -> `Skipped in
+        Obs.Events.emit
+          (match outcome with
+          | `Written -> "checkpoint.written"
+          | `Skipped -> "checkpoint.skipped")
+          ~fields:
+            [
+              ("boundary", Obs.Json.Int !boundary);
+              ("clauses", Obs.Json.Int (List.length !definition));
+            ];
         Budget.hit budget
           (match outcome with
           | `Written -> Budget.Checkpoint_written
@@ -710,6 +772,7 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
                 clause after the deadline *)
              && not (Budget.expired budget)
            in
+           if sample_ok then Budget.set_phase budget "acceptance";
            let pos_covered =
              if sample_ok then
                Coverage.count_many ?pool:config.pool cov best.clause !uncovered
@@ -727,6 +790,14 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
                    (Logic.Clause.to_string best.clause));
              consecutive_skips := 0;
              Obs.Metrics.bump m_clauses;
+             Obs.Events.emit "clause.accepted"
+               ~fields:
+                 [
+                   ("clause", Obs.Json.Str (Logic.Clause.to_string best.clause));
+                   ("pos_covered", Obs.Json.Int pos_covered);
+                   ("neg_covered", Obs.Json.Int neg_covered);
+                   ("body_lits", Obs.Json.Int (Logic.Clause.size best.clause));
+                 ];
              definition := best.clause :: !definition;
              uncovered :=
                Parallel.Par.parallel_filter ?pool:config.pool
@@ -763,6 +834,7 @@ let learn ?(config = default_config) cov ~rng ~positives ~negatives =
       Budget.add budget Budget.Job_quarantined
         (s.quarantined - quarantined_before)
   | None -> ());
+  Budget.set_phase budget "done";
   let degradation = Budget.degradation ~status:!status budget in
   let elapsed = !base_elapsed +. (Unix.gettimeofday () -. t0) in
   {

@@ -1,0 +1,105 @@
+(** Structured wide-event log. See events.mli.
+
+    One mutex guards the bounded in-memory queue; [emit] on a disabled sink
+    is a single atomic load, and an enabled [emit] is one lock + queue push
+    (no I/O). [flush] serializes the whole queue to a temp file and renames
+    it over the target, so readers never observe a truncated file — the
+    property the signal-path tests assert. *)
+
+type sink = {
+  path : string;
+  capacity : int;
+  queue : Json.t Queue.t;
+  mutable dropped : int;
+  lock : Mutex.t;
+}
+
+let state : sink option Atomic.t = Atomic.make None
+
+let default_capacity = 8192
+
+let configure ?(capacity = default_capacity) path =
+  Atomic.set state
+    (Some
+       {
+         path;
+         capacity = max 1 capacity;
+         queue = Queue.create ();
+         dropped = 0;
+         lock = Mutex.create ();
+       })
+
+let disable () = Atomic.set state None
+
+let enabled () = Atomic.get state <> None
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let emit ?(fields = []) name =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+      let line =
+        Json.Obj
+          (("ts_s", Json.Float (Budget.now ()))
+          :: ("event", Json.Str name)
+          :: (match Trace.context () with
+             | Some j -> [ ("job", Json.Str j) ]
+             | None -> [])
+          @ fields)
+      in
+      locked s (fun () ->
+          if Queue.length s.queue >= s.capacity then begin
+            ignore (Queue.pop s.queue);
+            s.dropped <- s.dropped + 1
+          end;
+          Queue.push line s.queue)
+
+let snapshot () =
+  match Atomic.get state with
+  | None -> []
+  | Some s -> locked s (fun () -> List.of_seq (Queue.to_seq s.queue))
+
+let dropped () =
+  match Atomic.get state with
+  | None -> 0
+  | Some s -> locked s (fun () -> s.dropped)
+
+let flush () =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+      let lines, n_dropped =
+        locked s (fun () -> (List.of_seq (Queue.to_seq s.queue), s.dropped))
+      in
+      let lines =
+        if n_dropped = 0 then lines
+        else
+          lines
+          @ [
+              Json.Obj
+                [
+                  ("ts_s", Json.Float (Budget.now ()));
+                  ("event", Json.Str "events.dropped");
+                  ("count", Json.Int n_dropped);
+                ];
+            ]
+      in
+      let dir = Filename.dirname s.path in
+      let tmp = Filename.temp_file ~temp_dir:dir "events" ".jsonl.tmp" in
+      let oc = open_out tmp in
+      (try
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () ->
+             List.iter
+               (fun line ->
+                 output_string oc (Json.to_string line);
+                 output_char oc '\n')
+               lines);
+         Sys.rename tmp s.path
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e)

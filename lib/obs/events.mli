@@ -1,0 +1,41 @@
+(** Structured wide-event log: a bounded, lock-safe, process-global JSONL
+    sink for the system's discrete lifecycle events — job admitted /
+    started / retried / quarantined, clause accepted, checkpoint written,
+    chaos injection fired — each line a self-contained JSON object with a
+    timestamp, the event name, the emitting domain's trace context (the
+    owning job, see {!Trace.with_context}) and arbitrary fields.
+
+    Like the tracer, the sink is disabled by default and an [emit] site on
+    a disabled sink costs one atomic load, so emit sites are permanently
+    wired through the daemon and learner and pay nothing until someone
+    passes [--events]. Events are queued in memory (bounded, oldest dropped
+    with an accounting line) and only written by {!flush}, which writes the
+    whole queue to a temp file and atomically renames it into place — a
+    flush racing a crash or signal never leaves a truncated file. *)
+
+(** [configure ?capacity path] turns the sink on, directing {!flush} to
+    [path]. At most [capacity] (default 8192) events are retained; beyond
+    that the oldest are dropped and counted. *)
+val configure : ?capacity:int -> string -> unit
+
+(** [disable ()] turns the sink off and drops queued events. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** [emit ?fields name] queues one event. No-op when disabled; never does
+    I/O; safe from any domain. The emitting domain's {!Trace.context} is
+    recorded as a ["job"] field when set. *)
+val emit : ?fields:(string * Json.t) list -> string -> unit
+
+(** [snapshot ()] is the queued events, oldest first (tests). *)
+val snapshot : unit -> Json.t list
+
+(** [dropped ()] — events evicted since {!configure}. *)
+val dropped : unit -> int
+
+(** [flush ()] atomically (re)writes the configured path with every queued
+    event, one JSON object per line, appending an ["events.dropped"]
+    accounting line when the queue overflowed. Safe to call repeatedly;
+    each call rewrites the full (bounded) queue. *)
+val flush : unit -> unit

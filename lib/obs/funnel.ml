@@ -1,0 +1,131 @@
+(** Search-funnel accounting. See funnel.mli.
+
+    Storage is a fixed grid of atomics (steps × buckets): the learner's
+    coordinator adds a step's tallies with one [fetch_and_add] per bucket,
+    so recording is lock-free and safe from concurrent learns (a daemon
+    serving several jobs aggregates, exactly like {!Metrics}). Recording is
+    pure accounting over decisions the search already made — it never runs
+    a coverage test or touches an RNG, so the funnel cannot change a
+    learned definition. *)
+
+type row = {
+  step : int;
+  generated : int;
+  prune_hit : int;
+  memo_hit : int;
+  inherited : int;
+  evaluated : int;
+  accepted : int;
+}
+
+let max_steps = 64
+let n_buckets = 6
+
+(* grid.(step * n_buckets + bucket); step >= max_steps folds into the last
+   row so deep beams never index out of bounds. *)
+let grid = Array.init (max_steps * n_buckets) (fun _ -> Atomic.make 0)
+
+let slot step bucket =
+  let step = if step < 1 then 1 else if step > max_steps then max_steps else step in
+  ((step - 1) * n_buckets) + bucket
+
+let add step bucket n =
+  if n > 0 then ignore (Atomic.fetch_and_add grid.(slot step bucket) n)
+
+let record ~step ~generated ~prune_hit ~memo_hit ~inherited ~evaluated
+    ~accepted =
+  add step 0 generated;
+  add step 1 prune_hit;
+  add step 2 memo_hit;
+  add step 3 inherited;
+  add step 4 evaluated;
+  add step 5 accepted
+
+let reset () = Array.iter (fun c -> Atomic.set c 0) grid
+
+let snapshot () =
+  let rows = ref [] in
+  for step = max_steps downto 1 do
+    let get b = Atomic.get grid.(slot step b) in
+    let r =
+      {
+        step;
+        generated = get 0;
+        prune_hit = get 1;
+        memo_hit = get 2;
+        inherited = get 3;
+        evaluated = get 4;
+        accepted = get 5;
+      }
+    in
+    if
+      r.generated <> 0 || r.prune_hit <> 0 || r.memo_hit <> 0
+      || r.inherited <> 0 || r.evaluated <> 0 || r.accepted <> 0
+    then rows := r :: !rows
+  done;
+  !rows
+
+let invariant_holds r =
+  r.generated = r.prune_hit + r.memo_hit + r.inherited + r.evaluated
+
+let total rows =
+  List.fold_left
+    (fun acc r ->
+      {
+        step = 0;
+        generated = acc.generated + r.generated;
+        prune_hit = acc.prune_hit + r.prune_hit;
+        memo_hit = acc.memo_hit + r.memo_hit;
+        inherited = acc.inherited + r.inherited;
+        evaluated = acc.evaluated + r.evaluated;
+        accepted = acc.accepted + r.accepted;
+      })
+    { step = 0; generated = 0; prune_hit = 0; memo_hit = 0; inherited = 0;
+      evaluated = 0; accepted = 0 }
+    rows
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("step", Json.Int r.step);
+      ("generated", Json.Int r.generated);
+      ("prune_hit", Json.Int r.prune_hit);
+      ("memo_hit", Json.Int r.memo_hit);
+      ("inherited", Json.Int r.inherited);
+      ("evaluated", Json.Int r.evaluated);
+      ("accepted", Json.Int r.accepted);
+    ]
+
+let to_json rows = Json.List (List.map row_to_json rows)
+
+let pct part whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let pp_row ppf label r =
+  Format.fprintf ppf "  %-7s generated %6d@." label r.generated;
+  let branch sym name v =
+    Format.fprintf ppf "          %s %-10s %6d (%5.1f%%)" sym name v
+      (pct v r.generated)
+  in
+  branch "\xe2\x94\x9c\xe2\x94\x80" "prune-hit" r.prune_hit;
+  Format.fprintf ppf "@.";
+  branch "\xe2\x94\x9c\xe2\x94\x80" "memo-hit" r.memo_hit;
+  Format.fprintf ppf "@.";
+  branch "\xe2\x94\x9c\xe2\x94\x80" "inherited" r.inherited;
+  Format.fprintf ppf "@.";
+  branch "\xe2\x94\x94\xe2\x94\x80" "evaluated" r.evaluated;
+  Format.fprintf ppf " \xe2\x86\x92 accepted %d@." r.accepted
+
+let pp ppf rows =
+  match rows with
+  | [] -> Format.fprintf ppf "(no funnel data recorded)@."
+  | rows ->
+      Format.fprintf ppf
+        "search funnel (candidates per beam step; generated = prune-hit + \
+         memo-hit + inherited + evaluated):@.";
+      List.iter
+        (fun r -> pp_row ppf (Printf.sprintf "step %d:" r.step) r)
+        rows;
+      if List.length rows > 1 then pp_row ppf "total:" (total rows)
+
+let to_string rows = Format.asprintf "%a" pp rows

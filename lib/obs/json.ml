@@ -9,19 +9,82 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+(* [utf8_seq_len s i] is the length of the valid UTF-8 sequence starting at
+   byte [i] of [s] (1–4), or 0 when the bytes there are not well-formed
+   UTF-8 (truncated sequence, bad continuation byte, overlong encoding,
+   surrogate, or a codepoint past U+10FFFF). *)
+let utf8_seq_len s i =
+  let n = String.length s in
+  let b k = Char.code s.[k] in
+  let cont k = k < n && b k land 0xC0 = 0x80 in
+  let b0 = b i in
+  if b0 < 0x80 then 1
+  else if b0 < 0xC2 then 0 (* continuation byte or overlong 2-byte lead *)
+  else if b0 < 0xE0 then if cont (i + 1) then 2 else 0
+  else if b0 < 0xF0 then
+    if
+      cont (i + 1) && cont (i + 2)
+      && not (b0 = 0xE0 && b (i + 1) < 0xA0) (* overlong *)
+      && not (b0 = 0xED && b (i + 1) >= 0xA0) (* surrogates *)
+    then 3
+    else 0
+  else if b0 < 0xF5 then
+    if
+      cont (i + 1) && cont (i + 2) && cont (i + 3)
+      && not (b0 = 0xF0 && b (i + 1) < 0x90) (* overlong *)
+      && not (b0 = 0xF4 && b (i + 1) >= 0x90) (* > U+10FFFF *)
+    then 4
+    else 0
+  else 0
+
+let utf8_valid s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then true
+    else match utf8_seq_len s i with 0 -> false | k -> go (i + k)
+  in
+  go 0
+
+(* Escapes '"', '\\' and every control character (U+0000–U+001F); all other
+   bytes must form valid UTF-8 to pass through — an ill-formed sequence is
+   replaced by U+FFFD so the emitted document is always valid UTF-8 (and
+   thus valid JSON), whatever bytes a caller smuggled into a string. *)
 let escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | '"' ->
+        Buffer.add_string buf "\\\"";
+        incr i
+    | '\\' ->
+        Buffer.add_string buf "\\\\";
+        incr i
+    | '\n' ->
+        Buffer.add_string buf "\\n";
+        incr i
+    | '\t' ->
+        Buffer.add_string buf "\\t";
+        incr i
+    | '\r' ->
+        Buffer.add_string buf "\\r";
+        incr i
+    | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+        incr i
+    | c when Char.code c < 0x80 ->
+        Buffer.add_char buf c;
+        incr i
+    | _ -> (
+        match utf8_seq_len s !i with
+        | 0 ->
+            Buffer.add_string buf "\xef\xbf\xbd" (* U+FFFD *);
+            incr i
+        | k ->
+            Buffer.add_substring buf s !i k;
+            i := !i + k))
+  done
 
 let rec to_buffer buf = function
   | Null -> Buffer.add_string buf "null"

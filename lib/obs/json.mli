@@ -13,8 +13,16 @@ type t =
   | Obj of (string * t) list
 
 (** [to_string j] is compact single-line JSON. Non-finite floats emit
-    [null] (JSON has no NaN/Infinity). *)
+    [null] (JSON has no NaN/Infinity). Strings escape ['"'], ['\\'] and
+    every control character (U+0000–U+001F) as [\uXXXX]; remaining bytes
+    are validated as UTF-8, ill-formed sequences replaced by U+FFFD, so the
+    output is always valid UTF-8 JSON whatever bytes the input held. *)
 val to_string : t -> string
+
+(** [utf8_valid s] — [s] is well-formed UTF-8 (no overlong encodings,
+    surrogates, or codepoints past U+10FFFF). Every string {!to_string}
+    emits satisfies this. *)
+val utf8_valid : string -> bool
 
 (** [to_buffer buf j] appends [to_string j] to [buf] without intermediate
     strings (trace files hold hundreds of thousands of events). *)

@@ -6,6 +6,7 @@ type t = {
   degradation : Budget.degradation option;
   metrics : Metrics.snapshot;
   phases : Trace.summary_row list;
+  funnel : Funnel.row list;
   extra : (string * Json.t) list;
 }
 
@@ -16,6 +17,7 @@ let make ~name ?(config = []) ?degradation ?(extra = []) () =
     degradation;
     metrics = Metrics.snapshot ();
     phases = Trace.summary_rows ();
+    funnel = Funnel.snapshot ();
     extra;
   }
 
@@ -50,6 +52,7 @@ let to_json t =
         | None -> Json.Null );
       ("metrics", Metrics.to_json t.metrics);
       ("phases", Json.List (List.map phase_json t.phases));
+      ("funnel", Funnel.to_json t.funnel);
     ]
     @ t.extra)
 

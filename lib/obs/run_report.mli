@@ -12,6 +12,9 @@ type t = {
   degradation : Budget.degradation option;
   metrics : Metrics.snapshot;
   phases : Trace.summary_row list;
+  funnel : Funnel.row list;
+      (** the search-funnel rows ({!Funnel.snapshot}) — per-beam-step
+          candidate accounting *)
   extra : (string * Json.t) list;
       (** extra top-level report entries (chaos snapshot, pool quarantine,
           CSV skip statistics, checkpoint info, ...) *)

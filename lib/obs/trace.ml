@@ -13,6 +13,7 @@ type event = {
   t_start_us : float;
   t_end_us : float;
   args : (string * string) list;
+  job : string option;
 }
 
 type tracer = {
@@ -54,6 +55,24 @@ type frame = {
 let stack_key : frame list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
+(* Ambient per-domain trace context: the job label every span (and wide
+   event) recorded on this domain is tagged with. Independent of the
+   tracer's enabled state — {!Events} reads it too — and saved/restored
+   around [f], so nested contexts unwind correctly even on exceptions. *)
+let context_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let context () = !(Domain.DLS.get context_key)
+
+let with_context ?job f =
+  match job with
+  | None -> f ()
+  | Some _ ->
+      let cell = Domain.DLS.get context_key in
+      let saved = !cell in
+      cell := job;
+      Fun.protect ~finally:(fun () -> cell := saved) f
+
 let record t ev =
   let i = Atomic.fetch_and_add t.cursor 1 in
   t.buf.(i mod Array.length t.buf) <- Some ev
@@ -87,6 +106,7 @@ let span ?(args = []) ~cat name f =
             t_start_us = fr.f_start;
             t_end_us = now_us t;
             args = List.rev fr.f_args;
+            job = context ();
           }
       in
       Fun.protect ~finally:close f
@@ -184,6 +204,11 @@ let to_json () =
              ])
       in
       let emit_begin ev =
+        let args =
+          match ev.job with
+          | None -> ev.args
+          | Some j -> ("job", j) :: ev.args
+        in
         emit
           (Json.Obj
              [
@@ -193,7 +218,7 @@ let to_json () =
                ("pid", Json.Int 1);
                ("tid", Json.Int tid);
                ("ts", Json.Float ev.t_start_us);
-               ("args", args_json ev.args);
+               ("args", args_json args);
              ])
       in
       List.iter

@@ -43,10 +43,28 @@ val arg : string -> string -> unit
     uses it instead of hand-rolled [Unix.gettimeofday] pairs. *)
 val time : (unit -> 'a) -> 'a * float
 
+(** {1 Trace context}
+
+    The ambient per-domain job label. A daemon worker entering a job wraps
+    the work in {!with_context}; every span closed inside (and every
+    {!Events} line emitted inside) is tagged with that label, so a
+    multi-job trace can be sliced per job. The context is orthogonal to the
+    tracer's enabled state and never touches any RNG — setting it cannot
+    change a learned definition. *)
+
+(** [with_context ?job f] runs [f ()] with the calling domain's trace
+    context set to [job] (saved and restored around [f], exception-safe);
+    [with_context ?job:None f] is just [f ()]. *)
+val with_context : ?job:string -> (unit -> 'a) -> 'a
+
+(** [context ()] is the calling domain's current job label, if any. *)
+val context : unit -> string option
+
 (** One recorded (completed) span. Timestamps are microseconds since
     {!enable}; [track] is the runtime domain id that ran the span; [path]
     is the names of the span's ancestors on its domain, outermost first,
-    ending with the span itself. *)
+    ending with the span itself; [job] is the trace context the span closed
+    under, exported as a ["job"] arg. *)
 type event = {
   name : string;
   cat : string;
@@ -55,6 +73,7 @@ type event = {
   t_start_us : float;
   t_end_us : float;
   args : (string * string) list;
+  job : string option;
 }
 
 (** [events ()] is the buffer's completed spans, oldest first. *)

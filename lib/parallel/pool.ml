@@ -43,6 +43,10 @@ type task = {
   run : unit -> unit;
   enqueued_at : float;
   id : int;
+  ctx : string option;
+      (** trace/job context captured at submit; the worker re-establishes
+          it, so spans and wide events a task emits on its worker domain
+          stay tagged with the owning job *)
   mutable kills : int;  (** workers this task has taken down so far *)
   on_fault : (exn -> unit) option;
       (** told when the pool drops this task's exception — the hook a
@@ -198,6 +202,7 @@ and worker_loop t w () =
       Atomic.incr t.per_worker.(w);
       Obs.Metrics.bump m_tasks;
       let outcome =
+        Obs.Trace.with_context ?job:task.ctx @@ fun () ->
         Obs.Trace.span ~cat:"pool"
           ~args:
             [
@@ -287,6 +292,8 @@ let submit ?on_fault ?on_quarantine t task =
       run = task;
       enqueued_at = Budget.now ();
       id = Atomic.fetch_and_add t.next_id 1;
+      (* the submitting domain's job context rides along with the task *)
+      ctx = Obs.Trace.context ();
       kills = 0;
       on_fault;
       on_quarantine;

@@ -19,6 +19,7 @@ type t = {
   delay : float;
   p_kill : float;
   seed : int;
+  label : string option;  (** layer name, for the wide-event log *)
   tickets : int Atomic.t;
   injected : int Atomic.t;
   delayed : int Atomic.t;
@@ -36,14 +37,15 @@ let () =
 
 let clamp01 p = Float.min 1. (Float.max 0. p)
 
-let create ?(p_fault = 0.) ?(p_delay = 0.) ?(delay = 0.001) ?(p_kill = 0.)
-    ?(seed = 0) () =
+let create ?label ?(p_fault = 0.) ?(p_delay = 0.) ?(delay = 0.001)
+    ?(p_kill = 0.) ?(seed = 0) () =
   {
     p_fault = clamp01 p_fault;
     p_delay = clamp01 p_delay;
     delay = Float.max 0. delay;
     p_kill = clamp01 p_kill;
     seed;
+    label;
     tickets = Atomic.make 0;
     injected = Atomic.make 0;
     delayed = Atomic.make 0;
@@ -57,18 +59,32 @@ let create ?(p_fault = 0.) ?(p_delay = 0.) ?(delay = 0.001) ?(p_kill = 0.)
 let draw t ~salt k =
   float_of_int (Hashtbl.hash (t.seed, salt, k) land 0xFFFFFF) /. 16777216.
 
+(* A firing injector is rare by construction; telling the wide-event log
+   about it costs one atomic load when the log is disabled. *)
+let fired t kind k =
+  Obs.Events.emit "chaos.fired"
+    ~fields:
+      (("kind", Obs.Json.Str kind)
+      :: ("ticket", Obs.Json.Int k)
+      :: (match t.label with
+         | Some l -> [ ("layer", Obs.Json.Str l) ]
+         | None -> []))
+
 let tick t =
   let k = Atomic.fetch_and_add t.tickets 1 in
   if draw t ~salt:1 k < t.p_delay then begin
     Atomic.incr t.delayed;
+    fired t "delay" k;
     Unix.sleepf t.delay
   end;
   if draw t ~salt:3 k < t.p_kill then begin
     Atomic.incr t.killed;
+    fired t "kill" k;
     raise (Killed k)
   end;
   if draw t ~salt:2 k < t.p_fault then begin
     Atomic.incr t.injected;
+    fired t "fault" k;
     raise (Injected k)
   end
 
@@ -125,7 +141,9 @@ let configure ?(p_kill = 0.) ?(p_delay = 0.) ?(delay = 0.001) ~p_fault ~seed
   let make name =
     (* Worker kills only make sense where a worker exists to kill. *)
     let p_kill = if name = "pool" then p_kill else 0. in
-    (name, create ~p_fault ~p_delay ~delay ~p_kill ~seed:(layer_seed seed name) ())
+    ( name,
+      create ~label:name ~p_fault ~p_delay ~delay ~p_kill
+        ~seed:(layer_seed seed name) () )
   in
   let rec swap () =
     let prev = Atomic.get registry in

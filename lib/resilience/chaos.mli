@@ -25,13 +25,16 @@ exception Killed of int
     the supervision machinery (restart / quarantine) takes over. No other
     layer arms it. *)
 
-(** [create ?p_fault ?p_delay ?delay ?p_kill ?seed ()] — [p_fault] (default
-    [0.]) is the probability a tick raises {!Injected}, [p_kill] (default
-    [0.]) the probability it raises {!Killed} instead, [p_delay] (default
-    [0.]) the probability it first sleeps [delay] seconds (default
+(** [create ?label ?p_fault ?p_delay ?delay ?p_kill ?seed ()] — [p_fault]
+    (default [0.]) is the probability a tick raises {!Injected}, [p_kill]
+    (default [0.]) the probability it raises {!Killed} instead, [p_delay]
+    (default [0.]) the probability it first sleeps [delay] seconds (default
     [0.001]); [seed] (default [0]) fixes every decision. Probabilities are
-    clamped to [\[0, 1\]]. *)
+    clamped to [\[0, 1\]]. [label] names the injector's layer in the
+    ["chaos.fired"] lines it emits to {!Obs.Events} when a verdict fires
+    ({!configure} labels registry injectors automatically). *)
 val create :
+  ?label:string ->
   ?p_fault:float ->
   ?p_delay:float ->
   ?delay:float ->

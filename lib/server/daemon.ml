@@ -138,6 +138,14 @@ let create ?pool ?on_complete ?(config = default_config) handler =
 
 (* ---------------- job lifecycle ---------------- *)
 
+(* Wide events about a job are emitted under its trace context, so they
+   carry the same ["job"] tag the job's spans do — the offline analyzer
+   joins the two streams on it. *)
+let job_event job name fields =
+  if Obs.Events.enabled () then
+    Obs.Trace.with_context ?job:(Budget.job job.budget) (fun () ->
+        Obs.Events.emit name ~fields)
+
 (* Complete [job] with [outcome]: record the tally, free the in-flight slot
    and hand it straight to the next waiting job (under one lock hold, so
    the cap can never be transiently exceeded), then launch that job and
@@ -161,6 +169,22 @@ let rec finish t job outcome =
          conservative failure mode *)
       Mutex.unlock t.lock
   | `Pending ->
+      (* emitted before the response is published: a drain that returns
+         (and then flushes the event log) is guaranteed to see every
+         finished job's lifecycle line. Events.emit is a leaf lock with no
+         I/O, so holding t.lock across it is safe and cheap. *)
+      job_event job "job.finished"
+        [
+          ( "outcome",
+            Obs.Json.Str
+              (match outcome with
+              | Protocol.Completed _ -> "completed"
+              | Protocol.Degraded _ -> "degraded"
+              | Protocol.Quarantined _ -> "quarantined"
+              | Protocol.Failed _ -> "failed") );
+          ("latency_s", Obs.Json.Float latency);
+          ("attempts", Obs.Json.Int attempts);
+        ];
       job.state <- `Done response;
       Hashtbl.remove t.outstanding job.id;
       (match outcome with
@@ -210,9 +234,14 @@ and attempt_failed t job ~exn ~backtrace =
     Obs.Metrics.bump m_retries
   end;
   Mutex.unlock t.lock;
-  if quarantine then
+  if quarantine then begin
+    job_event job "job.quarantined"
+      [ ("attempts", Obs.Json.Int attempts); ("exn", Obs.Json.Str exn) ];
     finish t job (Protocol.Quarantined { attempts; exn; backtrace })
+  end
   else begin
+    job_event job "job.retried"
+      [ ("attempt", Obs.Json.Int attempts); ("exn", Obs.Json.Str exn) ];
     let delay =
       Resilience.Policy.backoff t.config.policy ~attempt:attempts
         ~salt:(Hashtbl.hash job.id)
@@ -225,6 +254,13 @@ and run_attempt t ?(delay = 0.) job =
      job is not held hostage, its attempt just runs (and degrades) now. *)
   if delay > 0. then Budget.sleepf ~budget:job.budget delay;
   match
+    (* Establish the job's trace context for the whole attempt: every span
+       and wide event the handler (and the learner under it) emits on this
+       domain — and, via the pool's context capture, on every worker it
+       fans out to — is tagged with this job's id. *)
+    Obs.Trace.with_context ?job:(Budget.job job.budget) @@ fun () ->
+    Obs.Events.emit "job.started"
+      ~fields:[ ("attempt", Obs.Json.Int (job.attempts + 1)) ];
     try
       Chaos.tick_layer "server";
       let payload, degradation = t.handler ~budget:job.budget job.request in
@@ -282,6 +318,8 @@ let submit t request =
   if t.draining then begin
     t.n_rejected_draining <- t.n_rejected_draining + 1;
     Mutex.unlock t.lock;
+    Obs.Events.emit "job.rejected"
+      ~fields:[ ("reason", Obs.Json.Str "draining") ];
     Error Protocol.Draining
   end
   else if
@@ -292,6 +330,12 @@ let submit t request =
     Obs.Metrics.bump m_rejected;
     let retry_after = retry_after_estimate t in
     Mutex.unlock t.lock;
+    Obs.Events.emit "job.rejected"
+      ~fields:
+        [
+          ("reason", Obs.Json.Str "overloaded");
+          ("retry_after_s", Obs.Json.Float retry_after);
+        ];
     Error (Protocol.Overloaded { retry_after })
   end
   else begin
@@ -302,12 +346,17 @@ let submit t request =
       | Some _ as d -> d
       | None -> t.config.default_deadline
     in
+    (* The trace/job id is minted here, at admission, and threaded through
+       the budget: every observability stream downstream (spans, wide
+       events, live phase) keys on it. *)
+    let id = Atomic.fetch_and_add t.next_id 1 in
     let job =
       {
-        id = Atomic.fetch_and_add t.next_id 1;
+        id;
         request;
         submitted_at = Budget.now ();
-        budget = Budget.create ?deadline ();
+        budget =
+          Budget.create ~job:(Printf.sprintf "job-%d" id) ?deadline ();
         attempts = 0;
         state = `Pending;
       }
@@ -319,6 +368,11 @@ let submit t request =
     Obs.Metrics.gauge_set m_in_flight t.in_flight;
     Obs.Metrics.gauge_set m_waiting (Queue.length t.waiting_q);
     Mutex.unlock t.lock;
+    job_event job "job.admitted"
+      [
+        ("verb", Obs.Json.Str (Protocol.verb_of_request request));
+        ("queued", Obs.Json.Bool (not run_now));
+      ];
     if run_now then launch t job;
     Ok job
   end
@@ -385,6 +439,63 @@ let stats_to_json (s : stats) =
       ("retries", Obs.Json.Int s.retries);
       ("in_flight", Obs.Json.Int s.in_flight);
       ("waiting", Obs.Json.Int s.waiting);
+    ]
+
+(* The deep stats snapshot: everything a "what is the daemon doing right
+   now" question needs, in one JSON object. In-flight jobs expose their
+   live learner phase through the budget's phase cell (an atomic string the
+   worker updates and this coordinator read races benignly with). *)
+let deep_stats_json ?catalog t =
+  let now = Budget.now () in
+  Mutex.lock t.lock;
+  let queued = Hashtbl.create 8 in
+  Queue.iter (fun j -> Hashtbl.replace queued j.id ()) t.waiting_q;
+  let jobs =
+    Hashtbl.fold (fun _ j acc -> j :: acc) t.outstanding []
+    |> List.sort (fun a b -> compare a.id b.id)
+  in
+  let queue_depth = Queue.length t.waiting_q in
+  let ewma = t.ewma_latency in
+  Mutex.unlock t.lock;
+  let job_json j =
+    Obs.Json.Obj
+      [
+        ("id", Obs.Json.Int j.id);
+        ( "job",
+          Obs.Json.Str (Option.value ~default:"" (Budget.job j.budget)) );
+        ("request", Obs.Json.Str (Protocol.request_to_string j.request));
+        ( "state",
+          Obs.Json.Str (if Hashtbl.mem queued j.id then "queued" else "running")
+        );
+        ("phase", Obs.Json.Str (Budget.phase j.budget));
+        ("elapsed_s", Obs.Json.Float (now -. j.submitted_at));
+        ("attempts", Obs.Json.Int j.attempts);
+      ]
+  in
+  let catalog_json =
+    match catalog with
+    | None -> Obs.Json.Null
+    | Some c ->
+        Obs.Json.List
+          (List.map
+             (fun (name, scale, seed) ->
+               Obs.Json.Obj
+                 [
+                   ("data", Obs.Json.Str name);
+                   ("scale", Obs.Json.Float scale);
+                   ("seed", Obs.Json.Int seed);
+                 ])
+             (Catalog.loaded c))
+  in
+  Obs.Json.Obj
+    [
+      ("stats", stats_to_json (stats t));
+      ("in_flight_jobs", Obs.Json.List (List.map job_json jobs));
+      ("queue_depth", Obs.Json.Int queue_depth);
+      ("ewma_latency_s", Obs.Json.Float ewma);
+      ("catalog", catalog_json);
+      ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+      ("events_dropped", Obs.Json.Int (Obs.Events.dropped ()));
     ]
 
 let drain ?deadline t =

@@ -49,6 +49,48 @@ let json_tests =
         | Error _ -> ());
   ]
 
+let contains_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* Satellite guarantee: whatever bytes end up in a string (chaos exception
+   messages, clause text, raw CSV fragments), the emitted JSON is valid
+   UTF-8 and parseable — control characters escaped, ill-formed sequences
+   replaced with U+FFFD. *)
+let utf8_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"any byte string renders as valid UTF-8 JSON"
+         ~count:500 QCheck.string (fun s ->
+           let rendered = Json.to_string (Json.Str s) in
+           Json.utf8_valid rendered
+           &&
+           match Json.parse rendered with
+           | Ok (Json.Str _) -> true
+           | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"printable strings round-trip byte-exactly"
+         ~count:300 QCheck.printable_string (fun s ->
+           match Json.parse (Json.to_string (Json.Str s)) with
+           | Ok (Json.Str s') -> s' = s
+           | _ -> false));
+    Alcotest.test_case "control chars escape; bad bytes become U+FFFD" `Quick
+      (fun () ->
+        let rendered = Json.to_string (Json.Str "a\x01b\xffc\xc3\xa9") in
+        Alcotest.(check bool) "valid utf8" true (Json.utf8_valid rendered);
+        match Json.parse rendered with
+        | Ok (Json.Str s) ->
+            Alcotest.(check bool) "replacement char for the lone 0xff" true
+              (contains_sub s "\xef\xbf\xbd");
+            Alcotest.(check bool) "well-formed e-acute preserved" true
+              (contains_sub s "\xc3\xa9");
+            Alcotest.(check bool) "control char survived the escape" true
+              (contains_sub s "\x01")
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.fail e);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -267,12 +309,160 @@ let trace_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Search funnel                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let funnel_tests =
+  [
+    Alcotest.test_case "record/snapshot/total and the partition invariant"
+      `Quick (fun () ->
+        Obs.Funnel.reset ();
+        Obs.Funnel.record ~step:1 ~generated:10 ~prune_hit:3 ~memo_hit:2
+          ~inherited:1 ~evaluated:4 ~accepted:3;
+        Obs.Funnel.record ~step:1 ~generated:5 ~prune_hit:0 ~memo_hit:0
+          ~inherited:5 ~evaluated:0 ~accepted:0;
+        Obs.Funnel.record ~step:2 ~generated:7 ~prune_hit:7 ~memo_hit:0
+          ~inherited:0 ~evaluated:0 ~accepted:0;
+        let rows = Obs.Funnel.snapshot () in
+        Alcotest.(check int) "two live steps" 2 (List.length rows);
+        List.iter
+          (fun r ->
+            Alcotest.(check bool) "row invariant" true
+              (Obs.Funnel.invariant_holds r))
+          rows;
+        let r1 = List.hd rows in
+        Alcotest.(check int) "step 1 aggregates records" 15
+          r1.Obs.Funnel.generated;
+        let t = Obs.Funnel.total rows in
+        Alcotest.(check int) "total generated" 22 t.Obs.Funnel.generated;
+        Alcotest.(check bool) "total invariant" true
+          (Obs.Funnel.invariant_holds t);
+        Alcotest.(check bool) "tree renders nonempty" true
+          (String.length (Obs.Funnel.to_string rows) > 0);
+        (match Json.parse (Json.to_string (Obs.Funnel.to_json rows)) with
+        | Ok (Json.List l) ->
+            Alcotest.(check int) "json rows" 2 (List.length l)
+        | Ok _ -> Alcotest.fail "funnel json is not a list"
+        | Error e -> Alcotest.fail e);
+        Obs.Funnel.reset ();
+        Alcotest.(check int) "reset clears" 0
+          (List.length (Obs.Funnel.snapshot ())));
+    Alcotest.test_case "a real learn populates the funnel; invariant holds"
+      `Slow (fun () ->
+        Obs.Funnel.reset ();
+        let d = Datasets.Uw.generate ~seed:7 ~scale:0.15 () in
+        let rng = Random.State.make [| 7 |] in
+        let cov =
+          Learning.Coverage.create d.Datasets.Dataset.db
+            d.Datasets.Dataset.manual_bias ~rng
+        in
+        let _ =
+          Learning.Learn.learn
+            ~config:{ Learning.Learn.default_config with timeout = Some 60. }
+            cov ~rng ~positives:d.Datasets.Dataset.positives
+            ~negatives:d.Datasets.Dataset.negatives
+        in
+        let rows = Obs.Funnel.snapshot () in
+        Alcotest.(check bool) "steps recorded" true (rows <> []);
+        List.iter
+          (fun r ->
+            if not (Obs.Funnel.invariant_holds r) then
+              Alcotest.failf
+                "generated <> prune+memo+inherited+evaluated at step %d"
+                r.Obs.Funnel.step)
+          rows;
+        let t = Obs.Funnel.total rows in
+        Alcotest.(check bool) "candidates flowed" true
+          (t.Obs.Funnel.generated > 0);
+        Alcotest.(check bool) "accepted bounded by generated" true
+          (t.Obs.Funnel.accepted <= t.Obs.Funnel.generated);
+        Obs.Funnel.reset ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Wide-event log                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_events ?capacity f =
+  let path = Filename.temp_file "test_events" ".jsonl" in
+  Obs.Events.configure ?capacity path;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.disable ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let events_tests =
+  [
+    Alcotest.test_case "disabled sink records nothing" `Quick (fun () ->
+        Obs.Events.disable ();
+        Obs.Events.emit "ghost";
+        Alcotest.(check bool) "disabled" false (Obs.Events.enabled ());
+        Alcotest.(check int) "empty" 0 (List.length (Obs.Events.snapshot ())));
+    Alcotest.test_case "emit records ts, name, fields and the job context"
+      `Quick (fun () ->
+        with_events (fun _ ->
+            Obs.Events.emit "plain";
+            Trace.with_context ~job:"job-9" (fun () ->
+                Obs.Events.emit "tagged" ~fields:[ ("k", Json.Int 7) ]);
+            match Obs.Events.snapshot () with
+            | [ plain; tagged ] ->
+                Alcotest.(check bool) "name" true
+                  (Json.member "event" plain = Some (Json.Str "plain"));
+                Alcotest.(check bool) "no job outside context" true
+                  (Json.member "job" plain = None);
+                Alcotest.(check bool) "job tag inherited from context" true
+                  (Json.member "job" tagged = Some (Json.Str "job-9"));
+                Alcotest.(check bool) "field kept" true
+                  (Json.member "k" tagged = Some (Json.Int 7));
+                Alcotest.(check bool) "timestamped" true
+                  (match Json.member "ts_s" tagged with
+                  | Some (Json.Float _) -> true
+                  | _ -> false)
+            | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)));
+    Alcotest.test_case
+      "bounded queue evicts oldest with accounting; flush is atomic JSONL"
+      `Quick (fun () ->
+        with_events ~capacity:4 (fun path ->
+            for i = 1 to 10 do
+              Obs.Events.emit (Printf.sprintf "e%d" i)
+            done;
+            Alcotest.(check int) "kept newest" 4
+              (List.length (Obs.Events.snapshot ()));
+            Alcotest.(check int) "dropped counted" 6 (Obs.Events.dropped ());
+            Obs.Events.flush ();
+            Obs.Events.flush ();
+            (* idempotent: rewrites, never appends *)
+            let lines =
+              In_channel.with_open_bin path In_channel.input_all
+              |> String.split_on_char '\n'
+              |> List.filter (fun l -> String.trim l <> "")
+            in
+            Alcotest.(check int) "4 events + 1 accounting line" 5
+              (List.length lines);
+            List.iter
+              (fun l ->
+                match Json.parse l with
+                | Ok _ -> ()
+                | Error e -> Alcotest.failf "bad JSONL line %s: %s" l e)
+              lines;
+            match Json.parse (List.nth lines 4) with
+            | Ok j ->
+                Alcotest.(check bool) "accounting line last" true
+                  (Json.member "event" j = Some (Json.Str "events.dropped"));
+                Alcotest.(check bool) "drop count exported" true
+                  (Json.member "count" j = Some (Json.Int 6))
+            | Error e -> Alcotest.fail e));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Tracing cannot change results (the --trace off/on A/B guarantee)   *)
 (* ------------------------------------------------------------------ *)
 
 let determinism_tests =
   [
-    Alcotest.test_case "learn is bit-identical with tracing off and on" `Slow
+    Alcotest.test_case
+      "learn is bit-identical with tracing and events off and on" `Slow
       (fun () ->
         let learn () =
           let d = Datasets.Uw.generate ~seed:7 ~scale:0.3 () in
@@ -290,9 +480,84 @@ let determinism_tests =
           Logic.Clause.definition_to_string r.Learning.Learn.definition
         in
         let off = learn () in
-        let on = with_tracer learn in
+        let on = with_tracer (fun () -> with_events (fun _ -> learn ())) in
         Alcotest.(check string) "identical definition" off on;
         Alcotest.(check bool) "nonempty" true (off <> ""));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Signal path: SIGINT mid-learn still flushes valid artifacts        *)
+(* ------------------------------------------------------------------ *)
+
+let signal_tests =
+  [
+    Alcotest.test_case
+      "SIGINT mid-learn winds down and flushes valid trace + events" `Slow
+      (fun () ->
+        let trace_path = Filename.temp_file "test_sig_trace" ".json" in
+        (* same wiring as the CLI: the first SIGINT cancels the budget so
+           the anytime learner answers best-so-far, then the observability
+           streams are flushed normally *)
+        let budget = Budget.create ~job:"job-sig" () in
+        let saved =
+          Sys.signal Sys.sigint
+            (Sys.Signal_handle (fun _ -> Budget.cancel budget))
+        in
+        Trace.enable ();
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.set_signal Sys.sigint saved;
+            Trace.disable ();
+            Obs.Events.disable ();
+            try Sys.remove trace_path with Sys_error _ -> ())
+          (fun () ->
+            with_events (fun events_path ->
+                Obs.Events.emit "test.start";
+                let killer =
+                  Domain.spawn (fun () ->
+                      Unix.sleepf 0.2;
+                      Unix.kill (Unix.getpid ()) Sys.sigint)
+                in
+                let d = Datasets.Uw.generate ~seed:7 ~scale:0.3 () in
+                let rng = Random.State.make [| 7 |] in
+                let cov =
+                  Learning.Coverage.create d.Datasets.Dataset.db
+                    d.Datasets.Dataset.manual_bias ~rng
+                in
+                let r =
+                  Trace.with_context ~job:"job-sig" (fun () ->
+                      Learning.Learn.learn
+                        ~config:
+                          {
+                            Learning.Learn.default_config with
+                            budget = Some budget;
+                          }
+                        cov ~rng ~positives:d.Datasets.Dataset.positives
+                        ~negatives:d.Datasets.Dataset.negatives)
+                in
+                Domain.join killer;
+                ignore r;
+                (* flush exactly like the CLI teardown *)
+                Trace.export_json trace_path;
+                Obs.Events.flush ();
+                let trace_raw =
+                  In_channel.with_open_bin trace_path In_channel.input_all
+                in
+                (match Json.parse trace_raw with
+                | Ok j -> ignore (check_trace_json j)
+                | Error e -> Alcotest.failf "trace not valid JSON: %s" e);
+                let lines =
+                  In_channel.with_open_bin events_path In_channel.input_all
+                  |> String.split_on_char '\n'
+                  |> List.filter (fun l -> String.trim l <> "")
+                in
+                Alcotest.(check bool) "event log nonempty" true (lines <> []);
+                List.iter
+                  (fun l ->
+                    match Json.parse l with
+                    | Ok _ -> ()
+                    | Error e -> Alcotest.failf "bad event line: %s" e)
+                  lines)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -359,4 +624,5 @@ let report_tests =
   ]
 
 let suite =
-  json_tests @ metrics_tests @ trace_tests @ determinism_tests @ report_tests
+  json_tests @ utf8_tests @ metrics_tests @ trace_tests @ funnel_tests
+  @ events_tests @ determinism_tests @ signal_tests @ report_tests

@@ -471,7 +471,217 @@ let determinism_tests =
           (Logic.Clause.definition_to_string r.Autobias.definition));
   ]
 
+(* ---------------- job tracing and introspection ---------------- *)
+
+let observability_tests =
+  [
+    Alcotest.test_case
+      "fixed-seed soak: every learner span is tagged with its job id" `Slow
+      (fun () ->
+        Obs.Trace.enable ();
+        Fun.protect ~finally:Obs.Trace.disable (fun () ->
+            let catalog = Catalog.create () in
+            Parallel.Pool.with_pool ~size:2 (fun pool ->
+                let daemon =
+                  Daemon.create ~pool (Server.Handler.default catalog)
+                in
+                let jobs =
+                  List.init 3 (fun i ->
+                      Result.get_ok
+                        (Daemon.submit daemon (learn_uw ~seed:(7 + i) ())))
+                in
+                let _ = List.map (Daemon.await daemon) jobs in
+                Daemon.drain daemon;
+                let evs = Obs.Trace.events () in
+                (* learner-side categories only ever run inside a job's
+                   handler, so every such span must carry the job tag *)
+                let learner_cats =
+                  [ "learn"; "coverage"; "subsumption"; "sampling"; "discovery" ]
+                in
+                let learner_spans =
+                  List.filter
+                    (fun e -> List.mem e.Obs.Trace.cat learner_cats)
+                    evs
+                in
+                Alcotest.(check bool) "learner spans recorded" true
+                  (learner_spans <> []);
+                List.iter
+                  (fun e ->
+                    match e.Obs.Trace.job with
+                    | Some _ -> ()
+                    | None ->
+                        Alcotest.failf "untagged learner span %s (cat %s)"
+                          e.Obs.Trace.name e.Obs.Trace.cat)
+                  learner_spans;
+                let tags =
+                  List.filter_map (fun e -> e.Obs.Trace.job) evs
+                  |> List.sort_uniq compare
+                in
+                if Obs.Trace.dropped () = 0 then
+                  Alcotest.(check (list string))
+                    "one tag per admitted job"
+                    [ "job-0"; "job-1"; "job-2" ]
+                    tags
+                else
+                  (* ring wrapped: early spans were evicted, but whatever
+                     remains must still only use the minted ids *)
+                  List.iter
+                    (fun t ->
+                      if not (List.mem t [ "job-0"; "job-1"; "job-2" ]) then
+                        Alcotest.failf "unexpected job tag %s" t)
+                    tags)));
+    Alcotest.test_case
+      "deep stats: running and queued jobs expose id, phase, elapsed" `Quick
+      (fun () ->
+        Parallel.Pool.with_pool ~size:2 (fun pool ->
+            let release = Atomic.make false in
+            let started = Atomic.make 0 in
+            let handler ~budget _req =
+              Budget.set_phase budget "spinning";
+              Atomic.incr started;
+              while not (Atomic.get release) do
+                Unix.sleepf 0.002
+              done;
+              (null_payload, None)
+            in
+            let daemon =
+              Daemon.create ~pool
+                ~config:
+                  { Daemon.default_config with max_in_flight = 1; max_queue = 4 }
+                handler
+            in
+            let j1 = Result.get_ok (Daemon.submit daemon (learn_uw ~seed:1 ())) in
+            let j2 = Result.get_ok (Daemon.submit daemon (learn_uw ~seed:2 ())) in
+            let rec wait n =
+              if Atomic.get started < 1 && n < 1000 then begin
+                Unix.sleepf 0.002;
+                wait (n + 1)
+              end
+            in
+            wait 0;
+            Unix.sleepf 0.01;
+            let deep = Daemon.deep_stats_json daemon in
+            (* the snapshot must render to parseable JSON *)
+            (match Obs.Json.parse (Obs.Json.to_string deep) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e);
+            (match Obs.Json.member "queue_depth" deep with
+            | Some (Obs.Json.Int 1) -> ()
+            | j ->
+                Alcotest.failf "queue_depth: %s"
+                  (match j with
+                  | Some j -> Obs.Json.to_string j
+                  | None -> "missing"));
+            let in_flight =
+              match Obs.Json.member "in_flight_jobs" deep with
+              | Some (Obs.Json.List l) -> l
+              | _ -> Alcotest.fail "no in_flight_jobs list"
+            in
+            Alcotest.(check int) "both jobs visible" 2 (List.length in_flight);
+            let state_of j =
+              match Obs.Json.member "state" j with
+              | Some (Obs.Json.Str s) -> s
+              | _ -> "?"
+            in
+            let running =
+              List.find_opt (fun j -> state_of j = "running") in_flight
+            in
+            (match running with
+            | Some j ->
+                Alcotest.(check bool) "live phase exposed" true
+                  (Obs.Json.member "phase" j = Some (Obs.Json.Str "spinning"));
+                (match Obs.Json.member "job" j with
+                | Some (Obs.Json.Str s) ->
+                    Alcotest.(check bool) "job label minted" true
+                      (String.length s > 4 && String.sub s 0 4 = "job-")
+                | _ -> Alcotest.fail "running job has no job label")
+            | None -> Alcotest.fail "no running job in snapshot");
+            Alcotest.(check bool) "a queued job too" true
+              (List.exists (fun j -> state_of j = "queued") in_flight);
+            Alcotest.(check bool) "metrics snapshot attached" true
+              (Obs.Json.member "metrics" deep <> None);
+            Atomic.set release true;
+            ignore (Daemon.await daemon j1);
+            ignore (Daemon.await daemon j2);
+            Daemon.drain daemon));
+    Alcotest.test_case
+      "drain-path flush: trace and event log are complete and parseable"
+      `Quick (fun () ->
+        let trace_path = Filename.temp_file "test_srv_trace" ".json" in
+        let events_path = Filename.temp_file "test_srv_events" ".jsonl" in
+        Obs.Trace.enable ();
+        Obs.Events.configure events_path;
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Trace.disable ();
+            Obs.Events.disable ();
+            (try Sys.remove trace_path with Sys_error _ -> ());
+            try Sys.remove events_path with Sys_error _ -> ())
+          (fun () ->
+            Parallel.Pool.with_pool ~size:2 (fun pool ->
+                let daemon =
+                  Daemon.create ~pool
+                    (handler_const ~work:(fun () -> Unix.sleepf 0.005) ())
+                in
+                let jobs =
+                  List.init 3 (fun i ->
+                      Result.get_ok (Daemon.submit daemon (learn_uw ~seed:i ())))
+                in
+                let _ = List.map (Daemon.await daemon) jobs in
+                Daemon.drain daemon;
+                (* flush exactly like the server shutdown path *)
+                Obs.Trace.export_json trace_path;
+                Obs.Events.flush ();
+                (match
+                   Obs.Json.parse
+                     (In_channel.with_open_bin trace_path In_channel.input_all)
+                 with
+                | Ok j ->
+                    Alcotest.(check bool) "trace has events" true
+                      (match Obs.Json.member "traceEvents" j with
+                      | Some (Obs.Json.List (_ :: _)) -> true
+                      | _ -> false)
+                | Error e -> Alcotest.failf "trace not valid JSON: %s" e);
+                let lines =
+                  In_channel.with_open_bin events_path In_channel.input_all
+                  |> String.split_on_char '\n'
+                  |> List.filter (fun l -> String.trim l <> "")
+                in
+                let parsed =
+                  List.map
+                    (fun l ->
+                      match Obs.Json.parse l with
+                      | Ok j -> j
+                      | Error e -> Alcotest.failf "bad event line: %s" e)
+                    lines
+                in
+                let count name =
+                  List.length
+                    (List.filter
+                       (fun j ->
+                         Obs.Json.member "event" j
+                         = Some (Obs.Json.Str name))
+                       parsed)
+                in
+                Alcotest.(check int) "every admission logged" 3
+                  (count "job.admitted");
+                Alcotest.(check int) "every completion logged" 3
+                  (count "job.finished");
+                (* lifecycle events carry the owning job's tag *)
+                List.iter
+                  (fun j ->
+                    if
+                      Obs.Json.member "event" j
+                      = Some (Obs.Json.Str "job.finished")
+                    then
+                      match Obs.Json.member "job" j with
+                      | Some (Obs.Json.Str _) -> ()
+                      | _ -> Alcotest.fail "job.finished without a job tag")
+                  parsed)));
+  ]
+
 let suite =
   protocol_tests @ catalog_tests
   @ [ QCheck_alcotest.to_alcotest admission_property ]
-  @ retry_tests @ deadline_tests @ soak_tests @ determinism_tests
+  @ retry_tests @ deadline_tests @ soak_tests @ observability_tests
+  @ determinism_tests
